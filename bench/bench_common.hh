@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark binaries.
+ *
+ * Each binary prints the paper-style series table(s) for its figure
+ * panel group and registers one google-benchmark per data point whose
+ * counters carry the measured value.  Simulations are deterministic,
+ * so every benchmark runs a single iteration.
+ */
+
+#ifndef CSB_BENCH_COMMON_HH
+#define CSB_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace csb::bench {
+
+/** Register one benchmark per (scheme, size) point of a sweep. */
+inline void
+registerBandwidthPanel(const std::string &panel,
+                       const core::BandwidthSetup &setup)
+{
+    using core::Scheme;
+    for (Scheme scheme : core::schemesForLine(setup.lineBytes)) {
+        for (unsigned size : core::defaultTransferSizes()) {
+            std::string name =
+                panel + "/" + core::schemeName(scheme) + "/" +
+                std::to_string(size) + "B";
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [setup, scheme, size](benchmark::State &state) {
+                    double bw = 0;
+                    for (auto _ : state) {
+                        bw = core::measureStoreBandwidth(setup, scheme,
+                                                         size);
+                    }
+                    state.counters["bytes_per_bus_cycle"] = bw;
+                })
+                ->Iterations(1)->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+/** Print the full sweep table for one panel. */
+inline void
+printBandwidthPanel(const std::string &title,
+                    const core::BandwidthSetup &setup)
+{
+    core::BandwidthSweep sweep = core::runBandwidthSweep(
+        title, setup, core::schemesForLine(setup.lineBytes),
+        core::defaultTransferSizes());
+    core::printSweep(sweep, std::cout);
+}
+
+/** Multiplexed-bus setup shorthand. */
+inline core::BandwidthSetup
+muxSetup(unsigned ratio, unsigned line_bytes, unsigned turnaround = 0,
+         unsigned ack_delay = 0)
+{
+    core::BandwidthSetup setup;
+    setup.bus.kind = bus::BusKind::Multiplexed;
+    setup.bus.widthBytes = 8;
+    setup.bus.ratio = ratio;
+    setup.bus.turnaround = turnaround;
+    setup.bus.ackDelay = ack_delay;
+    setup.lineBytes = line_bytes;
+    return setup;
+}
+
+/** Split-bus setup shorthand. */
+inline core::BandwidthSetup
+splitSetup(unsigned width, unsigned ratio, unsigned line_bytes,
+           unsigned turnaround = 0, unsigned ack_delay = 0)
+{
+    core::BandwidthSetup setup;
+    setup.bus.kind = bus::BusKind::Split;
+    setup.bus.widthBytes = width;
+    setup.bus.ratio = ratio;
+    setup.bus.turnaround = turnaround;
+    setup.bus.ackDelay = ack_delay;
+    setup.lineBytes = line_bytes;
+    return setup;
+}
+
+} // namespace csb::bench
+
+#endif // CSB_BENCH_COMMON_HH

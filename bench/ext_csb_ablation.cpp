@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Ablation studies of the CSB design choices called out in DESIGN.md:
+ *
+ *  1. one vs. two line buffers (section 3.2's pipelining extension),
+ *     measured where the CPU -- not the bus -- is the bottleneck
+ *     (low CPU:bus ratio);
+ *  2. full-line flush vs. the relaxed partial flush (buses that
+ *     support multiple burst sizes), measured on sub-line transfers;
+ *  3. conditional-flush latency sensitivity of the figure 5 metric.
+ */
+
+#include "bench_common.hh"
+
+#include "core/kernels.hh"
+#include "core/system.hh"
+
+namespace {
+
+using namespace csb;
+
+double
+csbBandwidth(unsigned ratio, unsigned line_buffers, bool partial_flush,
+             unsigned transfer_bytes)
+{
+    core::SystemConfig cfg;
+    cfg.lineBytes = 64;
+    cfg.bus.kind = bus::BusKind::Multiplexed;
+    cfg.bus.widthBytes = 8;
+    cfg.bus.ratio = ratio;
+    cfg.enableCsb = true;
+    cfg.csb.numLineBuffers = line_buffers;
+    cfg.csb.partialFlush = partial_flush;
+    cfg.normalize();
+    core::System system(cfg);
+    isa::Program p =
+        core::makeCsbStoreKernel(core::System::ioCsbBase, transfer_bytes,
+                                 64);
+    system.run(p);
+    return static_cast<double>(transfer_bytes) /
+           static_cast<double>(system.ioWriteBusCycles());
+}
+
+/**
+ * CPU-side completion time (mark-to-mark) of a multi-line CSB
+ * sequence: with one line buffer the next group's stores stall until
+ * the flushed line is handed to the bus, so a second buffer shortens
+ * the CPU's critical path even when bus throughput is unchanged.
+ */
+double
+csbCpuCompletion(unsigned ratio, unsigned line_buffers,
+                 unsigned transfer_bytes)
+{
+    core::SystemConfig cfg;
+    cfg.lineBytes = 64;
+    cfg.bus.kind = bus::BusKind::Multiplexed;
+    cfg.bus.widthBytes = 8;
+    cfg.bus.ratio = ratio;
+    cfg.enableCsb = true;
+    cfg.csb.numLineBuffers = line_buffers;
+    cfg.normalize();
+    core::System system(cfg);
+    isa::Program p =
+        core::makeCsbStoreKernel(core::System::ioCsbBase, transfer_bytes,
+                                 64);
+    system.run(p);
+    return static_cast<double>(system.core().markTime(1) -
+                               system.core().markTime(0));
+}
+
+double
+csbLatency(Tick flush_latency, unsigned n_dwords)
+{
+    core::SystemConfig cfg;
+    cfg.lineBytes = 64;
+    cfg.bus.kind = bus::BusKind::Multiplexed;
+    cfg.bus.widthBytes = 8;
+    cfg.bus.ratio = 6;
+    cfg.enableCsb = true;
+    cfg.core.csbFlushLatency = flush_latency;
+    cfg.normalize();
+    core::System system(cfg);
+    isa::Program p =
+        core::makeCsbSequenceKernel(core::System::ioCsbBase, n_dwords);
+    system.run(p);
+    return static_cast<double>(system.core().markTime(1) -
+                               system.core().markTime(0));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Ablation 1a: CSB line buffers -- bus bandwidth "
+                 "(8B mux bus) ===\n";
+    std::cout << "ratio   transfer   1-buffer   2-buffer  (B/bus-cycle)\n";
+    for (unsigned ratio : {1u, 2u, 6u}) {
+        for (unsigned bytes : {256u, 1024u}) {
+            double one = csbBandwidth(ratio, 1, false, bytes);
+            double two = csbBandwidth(ratio, 2, false, bytes);
+            std::printf("%-7u %-10u %10.2f %10.2f\n", ratio, bytes, one,
+                        two);
+        }
+    }
+    std::cout << "(bus throughput is bus-limited either way)\n\n";
+
+    std::cout << "=== Ablation 1b: CSB line buffers -- CPU completion "
+                 "(8B mux bus) ===\n";
+    std::cout << "ratio   transfer   1-buffer   2-buffer  (CPU cycles)\n";
+    for (unsigned ratio : {2u, 6u}) {
+        for (unsigned bytes : {128u, 256u, 512u}) {
+            double one = csbCpuCompletion(ratio, 1, bytes);
+            double two = csbCpuCompletion(ratio, 2, bytes);
+            std::printf("%-7u %-10u %10.0f %10.0f\n", ratio, bytes, one,
+                        two);
+        }
+    }
+    std::cout << "(the second line buffer removes the stall of the next "
+                 "group's stores behind a flushed-but-unsent line -- the "
+                 "pipelining extension of section 3.2)\n\n";
+
+    std::cout << "=== Ablation 2: full-line vs partial flush "
+                 "(ratio 6) ===\n";
+    std::cout << "transfer   full-line    partial\n";
+    for (unsigned bytes : {8u, 16u, 32u, 64u, 256u}) {
+        double full = csbBandwidth(6, 1, false, bytes);
+        double partial = csbBandwidth(6, 1, true, bytes);
+        std::printf("%-10u %10.2f %10.2f\n", bytes, full, partial);
+    }
+    std::cout << "(partial flush removes the sub-line padding penalty "
+                 "when the bus supports multiple burst sizes)\n\n";
+
+    std::cout << "=== Ablation 3: conditional-flush latency vs figure 5 "
+                 "metric (8 dwords) ===\n";
+    std::cout << "flush-latency   cycles\n";
+    for (csb::Tick lat : {1u, 2u, 4u, 8u}) {
+        std::printf("%-15llu %7.0f\n",
+                    static_cast<unsigned long long>(lat),
+                    csbLatency(lat, 8));
+    }
+    std::cout << "\n";
+
+    for (unsigned ratio : {1u, 6u}) {
+        std::string name =
+            "CsbAblation/lineBuffers/ratio" + std::to_string(ratio);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [ratio](benchmark::State &state) {
+                double one = 0;
+                double two = 0;
+                for (auto _ : state) {
+                    one = csbBandwidth(ratio, 1, false, 1024);
+                    two = csbBandwidth(ratio, 2, false, 1024);
+                }
+                state.counters["one_buffer_bw"] = one;
+                state.counters["two_buffer_bw"] = two;
+            })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        "CsbAblation/partialFlush/16B",
+        [](benchmark::State &state) {
+            double full = 0;
+            double partial = 0;
+            for (auto _ : state) {
+                full = csbBandwidth(6, 1, false, 16);
+                partial = csbBandwidth(6, 1, true, 16);
+            }
+            state.counters["full_line_bw"] = full;
+            state.counters["partial_bw"] = partial;
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

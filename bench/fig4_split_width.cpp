@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 4 (a)-(b): uncached store bandwidth on a split address/data
+ * bus, 128-bit (a) and 256-bit (b) data paths.  Fixed: ratio 6,
+ * 64-byte block, no turnaround cycle.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace csb::bench;
+
+    struct Panel
+    {
+        const char *name;
+        unsigned width;
+    };
+    const Panel panels[] = {
+        {"Fig 4(a) 16B split bus", 16},
+        {"Fig 4(b) 32B split bus", 32},
+    };
+
+    for (const Panel &panel : panels) {
+        printBandwidthPanel(
+            std::string(panel.name) +
+                ": ratio 6, 64B block, no turnaround",
+            splitSetup(panel.width, 6, 64));
+        registerBandwidthPanel(panel.name, splitSetup(panel.width, 6, 64));
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

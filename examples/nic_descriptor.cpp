@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Atomic device access under competition -- the scenario that
+ * motivates the CSB's non-blocking synchronization (section 3.2).
+ *
+ * Two processes share one core under a preemptive round-robin
+ * scheduler.  Each pushes multi-word DMA descriptors into the network
+ * interface's descriptor page through the conditional store buffer.
+ * When a process is preempted between its combining stores and its
+ * conditional flush, the competitor's first combining store clears
+ * the buffer; the victim's flush then FAILS (returns 0) and its
+ * software retries -- no locks, no deadlock, and every descriptor
+ * arrives at the device exactly once.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/system.hh"
+#include "cpu/context_scheduler.hh"
+#include "io/network_interface.hh"
+#include "isa/program.hh"
+
+namespace {
+
+using namespace csb;
+using isa::ir;
+
+/**
+ * Program: push `count` descriptor blocks (4 descriptors each, 32
+ * bytes) atomically through the CSB, tagged with `tag` in the length
+ * field so the host can attribute them.
+ */
+isa::Program
+makeDescriptorPusher(Addr desc_base, unsigned count, unsigned tag)
+{
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(desc_base));
+    for (unsigned i = 0; i < count; ++i) {
+        // Each descriptor: {source address, length}; length carries
+        // the process tag (values chosen to stay non-zero).
+        for (int d = 0; d < 4; ++d) {
+            p.li(ir(2 + d),
+                 static_cast<std::int64_t>(io::packDescriptor(
+                     0x10000 + i * 0x100 + static_cast<unsigned>(d) * 8,
+                     static_cast<std::uint16_t>(tag))));
+        }
+        isa::Label retry = p.newLabel();
+        p.bind(retry);
+        p.li(ir(9), 4);
+        p.std_(ir(2), ir(1), 0);
+        p.std_(ir(3), ir(1), 8);
+        p.std_(ir(4), ir(1), 16);
+        p.std_(ir(5), ir(1), 24);
+        p.swap(ir(9), ir(1), 0); // conditional flush
+        p.li(ir(10), 4);
+        p.bne(ir(9), ir(10), retry);
+    }
+    p.halt();
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::SystemConfig cfg;
+    cfg.bus.ratio = 6;
+    cfg.enableCsb = true;
+    cfg.enableNi = true;
+    // Slow the wire down so DMA jobs overlap with the competition.
+    cfg.ni.wireTicksPerByte = 1.0;
+    cfg.normalize();
+    core::System system(cfg);
+
+    Addr desc = core::System::niBase + io::NiMap::descBase;
+    isa::Program prog_a = makeDescriptorPusher(desc, 6, /*tag=*/100);
+    isa::Program prog_b = makeDescriptorPusher(desc, 6, /*tag=*/200);
+
+    // A short quantum maximizes preemptions inside store sequences.
+    cpu::ContextScheduler scheduler(system.simulator(), system.core(),
+                                    /*quantum=*/40, "sched");
+    scheduler.addProcess(&prog_a, /*pid=*/1);
+    scheduler.addProcess(&prog_b, /*pid=*/2);
+    scheduler.start();
+
+    system.simulator().run(
+        [&] { return scheduler.allFinished() && system.quiescent(); },
+        2'000'000);
+
+    auto &csb_unit = *system.csb();
+    std::printf("Preemptions:            %g\n",
+                scheduler.preemptions.value());
+    std::printf("Conditional flushes:    %g (%g failed and retried)\n",
+                csb_unit.flushesAttempted.value(),
+                csb_unit.flushesFailed.value());
+    std::printf("Store-sequence clears:  %g\n",
+                csb_unit.conflictsOnStore.value());
+
+    // Exactly-once check: each process pushed 6 blocks x 4
+    // descriptors, each descriptor tagged with its process in the
+    // length field; the NI turned each into one DMA message of that
+    // length.  Count delivered messages per tag.
+    unsigned from_a = 0;
+    unsigned from_b = 0;
+    for (const auto &msg : system.ni()->delivered()) {
+        if (msg.payload.size() == 100)
+            ++from_a;
+        else if (msg.payload.size() == 200)
+            ++from_b;
+    }
+    std::printf("Descriptors delivered:  %u from process A, %u from "
+                "process B\n", from_a, from_b);
+    bool exactly_once = from_a == 6 * 4 && from_b == 6 * 4;
+    std::printf("Exactly-once delivery:  %s\n",
+                exactly_once ? "PASS" : "FAIL");
+    std::printf("\nEvery failed flush was recovered by software retry; "
+                "no locks were needed.\n");
+    return exactly_once ? 0 : 1;
+}

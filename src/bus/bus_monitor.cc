@@ -1,0 +1,87 @@
+#include "bus_monitor.hh"
+
+#include <algorithm>
+
+namespace csb::bus {
+
+namespace {
+
+bool
+matches(const std::function<bool(const TxnRecord &)> &pred,
+        const TxnRecord &rec)
+{
+    return !pred || pred(rec);
+}
+
+} // namespace
+
+std::size_t
+BusMonitor::count(const std::function<bool(const TxnRecord &)> &pred) const
+{
+    std::size_t n = 0;
+    for (const TxnRecord &rec : records_) {
+        if (matches(pred, rec))
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+BusMonitor::bytes(const std::function<bool(const TxnRecord &)> &pred) const
+{
+    std::uint64_t total = 0;
+    for (const TxnRecord &rec : records_) {
+        if (matches(pred, rec))
+            total += rec.size;
+    }
+    return total;
+}
+
+std::uint64_t
+BusMonitor::firstAddrCycle(
+    const std::function<bool(const TxnRecord &)> &pred) const
+{
+    std::uint64_t first = UINT64_MAX;
+    for (const TxnRecord &rec : records_) {
+        if (matches(pred, rec))
+            first = std::min(first, rec.addrCycle);
+    }
+    return first == UINT64_MAX ? 0 : first;
+}
+
+std::uint64_t
+BusMonitor::lastDataCycle(
+    const std::function<bool(const TxnRecord &)> &pred) const
+{
+    std::uint64_t last = 0;
+    bool any = false;
+    for (const TxnRecord &rec : records_) {
+        if (matches(pred, rec)) {
+            last = std::max(last, rec.lastDataCycle);
+            any = true;
+        }
+    }
+    return any ? last : 0;
+}
+
+double
+BusMonitor::bandwidthBytesPerBusCycle(
+    const std::function<bool(const TxnRecord &)> &pred) const
+{
+    std::uint64_t total_bytes = 0;
+    std::uint64_t first = UINT64_MAX;
+    std::uint64_t last = 0;
+    for (const TxnRecord &rec : records_) {
+        if (!matches(pred, rec))
+            continue;
+        total_bytes += rec.size;
+        first = std::min(first, rec.addrCycle);
+        last = std::max(last, rec.lastDataCycle);
+    }
+    if (total_bytes == 0 || first == UINT64_MAX)
+        return 0.0;
+    return static_cast<double>(total_bytes) /
+           static_cast<double>(last - first + 1);
+}
+
+} // namespace csb::bus

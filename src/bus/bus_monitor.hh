@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bus instrumentation: per-transaction records and the paper's
+ * effective-bandwidth metric (bytes per bus cycle, measured from the
+ * first address cycle to the last data cycle; a trailing turnaround
+ * cycle is not charged -- section 4.3.1).
+ */
+
+#ifndef CSB_BUS_BUS_MONITOR_HH
+#define CSB_BUS_BUS_MONITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+#include "transaction.hh"
+
+namespace csb::bus {
+
+/** Records every completed transaction; supports measurement windows. */
+class BusMonitor
+{
+  public:
+    /** Append a completed-transaction record. */
+    void record(const TxnRecord &rec) { records_.push_back(rec); }
+
+    /** Forget all records (start a fresh measurement window). */
+    void clear() { records_.clear(); }
+
+    const std::vector<TxnRecord> &records() const { return records_; }
+
+    /** Number of recorded transactions matching @p pred (all if empty). */
+    std::size_t count(
+        const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+    /** Total bytes moved by matching transactions. */
+    std::uint64_t bytes(
+        const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+    /**
+     * Effective bandwidth over the matching records:
+     * bytes / (max(lastDataCycle) - min(addrCycle) + 1).
+     * @return 0 when no record matches.
+     */
+    double bandwidthBytesPerBusCycle(
+        const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+    /** Bus cycle of the first matching address cycle (or 0). */
+    std::uint64_t firstAddrCycle(
+        const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+    /** Bus cycle of the last matching data cycle (or 0). */
+    std::uint64_t lastDataCycle(
+        const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+  private:
+    std::vector<TxnRecord> records_;
+};
+
+} // namespace csb::bus
+
+#endif // CSB_BUS_BUS_MONITOR_HH

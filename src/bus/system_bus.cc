@@ -1,0 +1,475 @@
+#include "system_bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace csb::bus {
+
+const char *
+txnKindName(TxnKind kind)
+{
+    switch (kind) {
+      case TxnKind::Write: return "write";
+      case TxnKind::ReadReq: return "read-req";
+      case TxnKind::ReadResp: return "read-resp";
+    }
+    return "?";
+}
+
+std::string
+BusTransaction::toString() const
+{
+    std::ostringstream os;
+    os << txnKindName(kind) << " addr=0x" << std::hex << addr << std::dec
+       << " size=" << size << " master=" << master
+       << (stronglyOrdered ? " ordered" : "");
+    return os.str();
+}
+
+void
+BusParams::validate() const
+{
+    if (!isPowerOf2(widthBytes) || widthBytes == 0 || widthBytes > 64)
+        csb_fatal("bus width must be a power of two in [1,64], got ",
+                  widthBytes);
+    if (ratio == 0)
+        csb_fatal("processor:bus frequency ratio must be >= 1");
+    if (!isPowerOf2(maxBurstBytes) || maxBurstBytes < widthBytes)
+        csb_fatal("max burst must be a power of two >= bus width");
+}
+
+SystemBus::SystemBus(sim::Simulator &simulator, const BusParams &params,
+                     std::string name, sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(params.ratio), /*eval_order=*/-10),
+      sim::stats::StatGroup(name, stat_parent),
+      numWrites(this, "numWrites", "write transactions completed"),
+      numReads(this, "numReads", "read transactions completed"),
+      bytesWritten(this, "bytesWritten", "bytes moved by writes"),
+      bytesRead(this, "bytesRead", "bytes moved by read responses"),
+      busyDataCycles(this, "busyDataCycles",
+                     "bus cycles spent moving address or data"),
+      orderingStallCycles(this, "orderingStallCycles",
+                          "cycles a ready request waited for an ack"),
+      sim_(simulator), params_(params)
+{
+    params_.validate();
+    simulator.registerClocked(this);
+}
+
+SystemBus::~SystemBus() = default;
+
+MasterId
+SystemBus::registerMaster(const std::string &name)
+{
+    masterNames_.push_back(name);
+    slots_.emplace_back();
+    lastOrderedAddrCycle_.push_back(
+        -static_cast<std::int64_t>(params_.ackDelay) - 1);
+    return static_cast<MasterId>(masterNames_.size() - 1);
+}
+
+void
+SystemBus::addTarget(Addr base, Addr size, BusTarget *target)
+{
+    csb_assert(target != nullptr, "null bus target");
+    for (const TargetRange &range : targets_) {
+        bool disjoint = base + size <= range.base ||
+                        range.base + range.size <= base;
+        if (!disjoint) {
+            csb_fatal("bus target '", target->targetName(),
+                      "' overlaps '", range.target->targetName(), "'");
+        }
+    }
+    targets_.push_back(TargetRange{base, size, target});
+}
+
+void
+SystemBus::checkTransaction(const BusTransaction &txn) const
+{
+    csb_assert(txn.size > 0 && isPowerOf2(txn.size),
+               "transaction size must be a non-zero power of two, got ",
+               txn.size);
+    csb_assert(txn.size <= params_.maxBurstBytes,
+               "transaction larger than max burst: ", txn.size);
+    csb_assert(txn.addr % txn.size == 0,
+               "transaction not naturally aligned: addr=", txn.addr,
+               " size=", txn.size);
+    csb_assert(txn.master < slots_.size(), "unknown master ", txn.master);
+}
+
+BusTarget *
+SystemBus::findTarget(Addr addr, unsigned size) const
+{
+    for (const TargetRange &range : targets_) {
+        if (addr >= range.base && addr + size <= range.base + range.size)
+            return range.target;
+    }
+    csb_panic("no bus target for addr 0x", std::hex, addr, std::dec,
+              " size ", size);
+}
+
+bool
+SystemBus::requestWrite(MasterId master, Addr addr,
+                        std::vector<std::uint8_t> data,
+                        bool strongly_ordered, WriteCallback on_complete,
+                        StartCallback on_start)
+{
+    csb_assert(master < slots_.size(), "unknown master");
+    if (slots_[master].has_value())
+        return false;
+
+    Request req;
+    req.txn.kind = TxnKind::Write;
+    req.txn.addr = addr;
+    req.txn.size = static_cast<unsigned>(data.size());
+    req.txn.master = master;
+    req.txn.stronglyOrdered = strongly_ordered;
+    req.txn.data = std::move(data);
+    req.onWrite = std::move(on_complete);
+    req.onStart = std::move(on_start);
+    req.requestTick = sim_.curTick();
+    checkTransaction(req.txn);
+    findTarget(addr, req.txn.size); // fail fast on unmapped addresses
+    slots_[master] = std::move(req);
+    return true;
+}
+
+bool
+SystemBus::requestRead(MasterId master, Addr addr, unsigned size,
+                       bool strongly_ordered, ReadCallback on_complete,
+                       StartCallback on_start)
+{
+    csb_assert(master < slots_.size(), "unknown master");
+    if (slots_[master].has_value())
+        return false;
+
+    Request req;
+    req.txn.kind = TxnKind::ReadReq;
+    req.txn.addr = addr;
+    req.txn.size = size;
+    req.txn.master = master;
+    req.txn.stronglyOrdered = strongly_ordered;
+    req.onRead = std::move(on_complete);
+    req.onStart = std::move(on_start);
+    req.requestTick = sim_.curTick();
+    checkTransaction(req.txn);
+    findTarget(addr, size);
+    slots_[master] = std::move(req);
+    return true;
+}
+
+bool
+SystemBus::masterIdle(MasterId master) const
+{
+    csb_assert(master < slots_.size(), "unknown master");
+    return !slots_[master].has_value();
+}
+
+bool
+SystemBus::wouldAcceptAtNextEdge(MasterId master, bool strongly_ordered,
+                                 bool is_write) const
+{
+    csb_assert(master < slots_.size(), "unknown master");
+    // A request presented during this CPU tick is examined at the
+    // next bus edge.
+    std::uint64_t c = clockDomain().cycleAt(sim_.curTick()) + 1;
+    if (c < addrNextFree_)
+        return false;
+    if (is_write && params_.kind == BusKind::Split && c < dataNextFree_)
+        return false;
+    if (strongly_ordered && params_.ackDelay != 0) {
+        std::int64_t earliest =
+            lastOrderedAddrCycle_[master] +
+            static_cast<std::int64_t>(params_.ackDelay);
+        if (static_cast<std::int64_t>(c) < earliest)
+            return false;
+    }
+    // A ready response takes priority over new requests on the
+    // multiplexed organization.
+    if (params_.kind == BusKind::Multiplexed && !responses_.empty() &&
+        responses_.front().readyTick <= clockDomain().tickOfCycle(c)) {
+        return false;
+    }
+    return true;
+}
+
+bool
+SystemBus::quiescent() const
+{
+    if (inFlight_ > 0 || !responses_.empty())
+        return false;
+    for (const auto &slot : slots_) {
+        if (slot.has_value())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+SystemBus::curBusCycle() const
+{
+    return clockDomain().cycleAt(sim_.curTick());
+}
+
+unsigned
+SystemBus::dataCycles(unsigned size) const
+{
+    return static_cast<unsigned>(divCeil(size, params_.widthBytes));
+}
+
+bool
+SystemBus::orderingAllows(const Request &req, std::uint64_t c) const
+{
+    if (!req.txn.stronglyOrdered || params_.ackDelay == 0)
+        return true;
+    std::int64_t earliest =
+        lastOrderedAddrCycle_[req.txn.master] +
+        static_cast<std::int64_t>(params_.ackDelay);
+    return static_cast<std::int64_t>(c) >= earliest;
+}
+
+void
+SystemBus::tick()
+{
+    std::uint64_t c = curBusCycle();
+    bool data_path_taken = tryStartResponse(c);
+    tryStartRequest(c, data_path_taken);
+}
+
+bool
+SystemBus::tryStartResponse(std::uint64_t c)
+{
+    if (responses_.empty())
+        return false;
+
+    PendingResponse &resp = responses_.front();
+    Tick now = sim_.curTick();
+    if (resp.readyTick > now)
+        return false;
+
+    unsigned cycles = dataCycles(resp.txn.size);
+    if (params_.kind == BusKind::Multiplexed) {
+        if (c < addrNextFree_)
+            return false;
+        addrNextFree_ = c + cycles + params_.turnaround;
+    } else {
+        if (c < dataNextFree_)
+            return false;
+        dataNextFree_ = c + cycles + params_.turnaround;
+    }
+
+    TxnRecord rec;
+    rec.id = resp.txn.id;
+    rec.kind = TxnKind::ReadResp;
+    rec.addr = resp.txn.addr;
+    rec.size = resp.txn.size;
+    rec.master = resp.txn.master;
+    rec.stronglyOrdered = resp.txn.stronglyOrdered;
+    rec.addrCycle = resp.reqAddrCycle;
+    rec.firstDataCycle = c;
+    rec.lastDataCycle = c + cycles - 1;
+    rec.requestTick = resp.requestTick;
+    rec.completionTick = clockDomain().tickOfCycle(rec.lastDataCycle + 1);
+    monitor_.record(rec);
+
+    numReads += 1;
+    bytesRead += resp.txn.size;
+    busyDataCycles += cycles;
+
+    PendingResponse done = std::move(resp);
+    responses_.pop_front();
+    sim_.eventQueue().scheduleFunc(
+        rec.completionTick,
+        [this, done = std::move(done), when = rec.completionTick]() {
+            --inFlight_;
+            if (done.onRead)
+                done.onRead(when, done.txn.data);
+        });
+    return true;
+}
+
+bool
+SystemBus::tryStartRequest(std::uint64_t c, bool data_path_taken)
+{
+    if (slots_.empty())
+        return false;
+
+    // On the multiplexed organization a response tenure consumes the
+    // whole bus for this cycle.
+    if (params_.kind == BusKind::Multiplexed && data_path_taken)
+        return false;
+
+    if (c < addrNextFree_)
+        return false;
+
+    std::size_t n = slots_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t m = (lastGranted_ + 1 + i) % n;
+        if (!slots_[m].has_value())
+            continue;
+        Request &req = *slots_[m];
+        if (!orderingAllows(req, c)) {
+            orderingStallCycles += 1;
+            continue;
+        }
+        if (req.txn.kind == TxnKind::Write) {
+            // A split-bus write drives address and data together, so
+            // the data path must be free as well.
+            if (params_.kind == BusKind::Split &&
+                (data_path_taken || c < dataNextFree_)) {
+                continue;
+            }
+            startWrite(req, c);
+        } else {
+            startRead(req, c);
+        }
+        lastGranted_ = m;
+        slots_[m].reset();
+        return true;
+    }
+    return false;
+}
+
+void
+SystemBus::startWrite(Request &req, std::uint64_t c)
+{
+    req.txn.id = nextTxnId_++;
+    unsigned cycles = dataCycles(req.txn.size);
+
+    TxnRecord rec;
+    rec.id = req.txn.id;
+    rec.kind = TxnKind::Write;
+    rec.addr = req.txn.addr;
+    rec.size = req.txn.size;
+    rec.master = req.txn.master;
+    rec.stronglyOrdered = req.txn.stronglyOrdered;
+    rec.addrCycle = c;
+    rec.requestTick = req.requestTick;
+
+    if (params_.kind == BusKind::Multiplexed) {
+        rec.firstDataCycle = c + 1;
+        rec.lastDataCycle = c + cycles;
+        addrNextFree_ = c + 1 + cycles + params_.turnaround;
+        busyDataCycles += 1 + cycles;
+    } else {
+        rec.firstDataCycle = c;
+        rec.lastDataCycle = c + cycles - 1;
+        addrNextFree_ = c + 1;
+        dataNextFree_ = c + cycles + params_.turnaround;
+        busyDataCycles += cycles;
+    }
+    rec.completionTick = clockDomain().tickOfCycle(rec.lastDataCycle + 1);
+
+    if (req.txn.stronglyOrdered)
+        lastOrderedAddrCycle_[req.txn.master] = static_cast<std::int64_t>(c);
+
+    monitor_.record(rec);
+    numWrites += 1;
+    bytesWritten += req.txn.size;
+    ++inFlight_;
+    sim::trace::log("bus", "write start cycle=", c, " ",
+                    req.txn.toString());
+
+    if (req.onStart)
+        req.onStart(sim_.curTick());
+
+    BusTarget *target = findTarget(req.txn.addr, req.txn.size);
+    sim_.eventQueue().scheduleFunc(
+        rec.completionTick,
+        [this, target, txn = std::move(req.txn),
+         cb = std::move(req.onWrite), when = rec.completionTick]() {
+            --inFlight_;
+            target->write(txn, when);
+            if (cb)
+                cb(when);
+        });
+}
+
+void
+SystemBus::startRead(Request &req, std::uint64_t c)
+{
+    req.txn.id = nextTxnId_++;
+
+    TxnRecord rec;
+    rec.id = req.txn.id;
+    rec.kind = TxnKind::ReadReq;
+    rec.addr = req.txn.addr;
+    rec.size = req.txn.size;
+    rec.master = req.txn.master;
+    rec.stronglyOrdered = req.txn.stronglyOrdered;
+    rec.addrCycle = c;
+    rec.firstDataCycle = c;
+    rec.lastDataCycle = c; // request tenure is the address cycle only
+    rec.requestTick = req.requestTick;
+    rec.completionTick = clockDomain().tickOfCycle(c + 1);
+
+    addrNextFree_ = c + 1 +
+        (params_.kind == BusKind::Multiplexed ? params_.turnaround : 0);
+    busyDataCycles += 1;
+
+    if (req.txn.stronglyOrdered)
+        lastOrderedAddrCycle_[req.txn.master] = static_cast<std::int64_t>(c);
+
+    monitor_.record(rec);
+    ++inFlight_;
+    sim::trace::log("bus", "read start cycle=", c, " ",
+                    req.txn.toString());
+
+    if (req.onStart)
+        req.onStart(sim_.curTick());
+
+    // Ask the target for the data at the end of the address cycle.
+    BusTarget *target = findTarget(req.txn.addr, req.txn.size);
+    Tick addr_end = clockDomain().tickOfCycle(c + 1);
+    sim_.eventQueue().scheduleFunc(
+        addr_end,
+        [this, target, req = std::move(req), addr_cycle = c,
+         addr_end]() mutable {
+            std::vector<std::uint8_t> data;
+            Tick latency = target->read(req.txn, addr_end, data);
+            csb_assert(data.size() == req.txn.size,
+                       "target returned wrong read size");
+            PendingResponse resp;
+            resp.txn = std::move(req.txn);
+            resp.txn.kind = TxnKind::ReadResp;
+            resp.txn.data = std::move(data);
+            resp.onRead = std::move(req.onRead);
+            resp.readyTick = addr_end + latency;
+            resp.reqAddrCycle = addr_cycle;
+            resp.requestTick = req.requestTick;
+            responses_.push_back(std::move(resp));
+        });
+}
+
+std::unique_ptr<SystemBus>
+makeMultiplexedBus(sim::Simulator &simulator, unsigned width_bytes,
+                   unsigned ratio, unsigned turnaround, unsigned ack_delay,
+                   unsigned max_burst)
+{
+    BusParams params;
+    params.kind = BusKind::Multiplexed;
+    params.widthBytes = width_bytes;
+    params.ratio = ratio;
+    params.turnaround = turnaround;
+    params.ackDelay = ack_delay;
+    params.maxBurstBytes = max_burst;
+    return std::make_unique<SystemBus>(simulator, params);
+}
+
+std::unique_ptr<SystemBus>
+makeSplitBus(sim::Simulator &simulator, unsigned width_bytes, unsigned ratio,
+             unsigned turnaround, unsigned ack_delay, unsigned max_burst)
+{
+    BusParams params;
+    params.kind = BusKind::Split;
+    params.widthBytes = width_bytes;
+    params.ratio = ratio;
+    params.turnaround = turnaround;
+    params.ackDelay = ack_delay;
+    params.maxBurstBytes = max_burst;
+    return std::make_unique<SystemBus>(simulator, params);
+}
+
+} // namespace csb::bus

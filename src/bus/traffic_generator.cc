@@ -1,0 +1,70 @@
+#include "traffic_generator.hh"
+
+#include "sim/logging.hh"
+
+namespace csb::bus {
+
+TrafficGenerator::TrafficGenerator(sim::Simulator &simulator,
+                                   SystemBus &bus,
+                                   const TrafficGeneratorParams &params,
+                                   std::string name,
+                                   sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(bus.params().ratio),
+                   /*eval_order=*/-4),
+      sim::stats::StatGroup(name, stat_parent),
+      reads(this, "reads", "background read transactions"),
+      writes(this, "writes", "background write transactions"),
+      bytesMoved(this, "bytesMoved", "background bytes moved"),
+      retries(this, "retries", "issue attempts the bus deferred"),
+      sim_(simulator), bus_(bus), params_(params),
+      rng_(params.seed)
+{
+    csb_assert(isPowerOf2(params_.txnBytes), "txn size must be 2^n");
+    csb_assert(params_.interval >= 1.0, "interval must be >= 1 cycle");
+    masterId_ = bus_.registerMaster(name + ".port");
+    simulator.registerClocked(this);
+}
+
+void
+TrafficGenerator::tick()
+{
+    if (!running_)
+        return;
+    auto cycle = static_cast<double>(bus_.curBusCycle());
+    if (cycle < nextIssueCycle_)
+        return;
+    if (!bus_.masterIdle(masterId_)) {
+        retries += 1;
+        return;
+    }
+
+    // Uniformly distributed line-aligned address within the region.
+    Addr span = params_.regionSize / params_.txnBytes;
+    Addr addr = params_.base +
+                rng_.uniform(0, span - 1) * params_.txnBytes;
+    bool is_write = rng_.uniform01() < params_.writeFraction;
+
+    if (is_write) {
+        std::vector<std::uint8_t> data(params_.txnBytes, 0xb6);
+        bool ok = bus_.requestWrite(masterId_, addr, std::move(data),
+                                    /*strongly_ordered=*/false,
+                                    /*on_complete=*/{});
+        csb_assert(ok, "traffic write refused despite idle master");
+        writes += 1;
+    } else {
+        bool ok = bus_.requestRead(
+            masterId_, addr, params_.txnBytes,
+            /*strongly_ordered=*/false,
+            [](Tick, const std::vector<std::uint8_t> &) {});
+        csb_assert(ok, "traffic read refused despite idle master");
+        reads += 1;
+    }
+    bytesMoved += params_.txnBytes;
+
+    // Schedule the next attempt with +/-50% jitter around the mean
+    // interval so the load does not phase-lock with the victim.
+    double jitter = 0.5 + rng_.uniform01();
+    nextIssueCycle_ = cycle + params_.interval * jitter;
+}
+
+} // namespace csb::bus

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bus transaction descriptors shared by masters, targets and the
+ * instrumentation monitor.
+ */
+
+#ifndef CSB_BUS_TRANSACTION_HH
+#define CSB_BUS_TRANSACTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace csb::bus {
+
+/** Kind of bus tenure. */
+enum class TxnKind : std::uint8_t {
+    Write,      ///< address + write data from the master
+    ReadReq,    ///< address only; data returns in a ReadResp tenure
+    ReadResp,   ///< data tenure driven by the target
+};
+
+const char *txnKindName(TxnKind kind);
+
+/**
+ * One bus transaction.  Sizes are powers of two between one byte and
+ * the maximum burst (cache line) and must be naturally aligned; the
+ * bus enforces both (paper section 4.1).
+ */
+struct BusTransaction
+{
+    TxnKind kind = TxnKind::Write;
+    Addr addr = 0;
+    unsigned size = 0;
+    MasterId master = 0;
+    /**
+     * Strongly ordered (uncached) transactions may not have their
+     * address cycle issued before the previous strongly ordered
+     * transaction of the same master has been positively acknowledged
+     * (ackDelay bus cycles after its address cycle).
+     */
+    bool stronglyOrdered = false;
+    /** Write payload / read result. */
+    std::vector<std::uint8_t> data;
+    /** Unique id assigned by the bus at start. */
+    std::uint64_t id = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * Completed-transaction record kept by the BusMonitor.  All cycle
+ * fields are bus-cycle indices.
+ */
+struct TxnRecord
+{
+    std::uint64_t id = 0;
+    TxnKind kind = TxnKind::Write;
+    Addr addr = 0;
+    unsigned size = 0;
+    MasterId master = 0;
+    bool stronglyOrdered = false;
+    std::uint64_t addrCycle = 0;
+    std::uint64_t firstDataCycle = 0;
+    std::uint64_t lastDataCycle = 0;
+    /** CPU tick at which the master's request was first presented. */
+    Tick requestTick = 0;
+    /** CPU tick at which the transaction completed. */
+    Tick completionTick = 0;
+};
+
+} // namespace csb::bus
+
+#endif // CSB_BUS_TRANSACTION_HH

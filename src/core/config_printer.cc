@@ -1,0 +1,84 @@
+#include "config_printer.hh"
+
+namespace csb::core {
+
+namespace {
+
+const char *
+busKindName(bus::BusKind kind)
+{
+    return kind == bus::BusKind::Multiplexed ? "multiplexed"
+                                             : "split address/data";
+}
+
+} // namespace
+
+void
+printConfig(const SystemConfig &config, std::ostream &os)
+{
+    os << "system configuration:\n";
+    os << "  cores                : " << config.numCores << "\n";
+    os << "  cache line           : " << config.lineBytes << " B\n";
+
+    os << "  bus                  : " << busKindName(config.bus.kind)
+       << ", " << config.bus.widthBytes << " B wide, 1:"
+       << config.bus.ratio << " CPU:bus";
+    if (config.bus.turnaround)
+        os << ", turnaround " << config.bus.turnaround;
+    if (config.bus.ackDelay)
+        os << ", ack delay " << config.bus.ackDelay;
+    os << ", max burst " << config.bus.maxBurstBytes << " B\n";
+
+    os << "  core                 : " << config.core.fetchWidth
+       << "-wide fetch, " << config.core.retireWidth << "-wide retire, "
+       << config.core.windowSize << "-entry window, "
+       << config.core.intUnits << " INT + " << config.core.fpUnits
+       << " FP units, " << config.core.memPorts << " mem ports, "
+       << config.core.maxUncachedRetirePerCycle
+       << " uncached retire/cycle\n";
+
+    os << "  uncached buffer      : " << config.ubuf.entries
+       << " entries, ";
+    if (config.ubuf.combineBytes == 0) {
+        os << "no combining\n";
+    } else {
+        os << "combining into " << config.ubuf.combineBytes
+           << " B blocks\n";
+    }
+
+    if (config.enableCsb) {
+        os << "  conditional store buf: " << config.csb.lineBytes
+           << " B line, " << config.csb.numLineBuffers
+           << " line buffer(s)"
+           << (config.csb.checkAddress ? ", address checked" : "")
+           << (config.csb.partialFlush ? ", partial flush" : "")
+           << ", flush latency " << config.core.csbFlushLatency
+           << "\n";
+    } else {
+        os << "  conditional store buf: disabled\n";
+    }
+
+    os << "  L1                   : " << config.l1.sizeBytes / 1024
+       << " KiB, " << config.l1.assoc << "-way, hit "
+       << config.l1.hitLatency << "\n";
+    os << "  L2                   : " << config.l2.sizeBytes / 1024
+       << " KiB, " << config.l2.assoc << "-way, hit "
+       << config.l2.hitLatency << "\n";
+    os << "  memory               : miss +" << config.fixedMissLatency
+       << " cycles"
+       << (config.routeMissesOverBus ? " (misses routed over the bus)"
+                                     : "")
+       << ", bus-read latency " << config.memReadLatency << "\n";
+    os << "  TLB                  : " << config.tlbEntries
+       << " entries, miss +" << config.tlbMissPenalty << " cycles\n";
+    if (config.enableNi) {
+        os << "  network interface    : wire "
+           << config.ni.wireTicksPerByte << " ticks/B + "
+           << config.ni.wireLatency << " ticks, DMA "
+           << config.ni.dmaBurstBytes << " B bursts, "
+           << config.ni.dmaMaxOutstanding << " outstanding, startup "
+           << config.ni.dmaStartupTicks << "\n";
+    }
+}
+
+} // namespace csb::core

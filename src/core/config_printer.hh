@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Human-readable dump of a SystemConfig -- every experiment binary
+ * can show exactly what it simulated.
+ */
+
+#ifndef CSB_CORE_CONFIG_PRINTER_HH
+#define CSB_CORE_CONFIG_PRINTER_HH
+
+#include <ostream>
+
+#include "system_config.hh"
+
+namespace csb::core {
+
+/** Write a readable multi-line description of @p config to @p os. */
+void printConfig(const SystemConfig &config, std::ostream &os);
+
+} // namespace csb::core
+
+#endif // CSB_CORE_CONFIG_PRINTER_HH

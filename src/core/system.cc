@@ -1,0 +1,221 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace csb::core {
+
+void
+SystemConfig::normalize()
+{
+    l1.lineBytes = lineBytes;
+    l2.lineBytes = lineBytes;
+    csb.lineBytes = lineBytes;
+    bus.maxBurstBytes = std::max(lineBytes, bus.widthBytes);
+
+    if (numCores == 0)
+        csb_fatal("a system needs at least one core");
+    bus.validate();
+    core.validate();
+    ubuf.validate();
+    if (enableCsb)
+        csb.validate();
+    l1.validate();
+    l2.validate();
+    if (ubuf.combineBytes > lineBytes) {
+        csb_fatal("uncached buffer combine block (", ubuf.combineBytes,
+                  ") exceeds the cache line (", lineBytes, ")");
+    }
+}
+
+System::System(SystemConfig config)
+    : sim::stats::StatGroup("system"), config_(std::move(config))
+{
+    config_.normalize();
+
+    bus_ = std::make_unique<bus::SystemBus>(sim_, config_.bus, "bus", this);
+
+    mainMemory_ = std::make_unique<mem::MainMemory>(
+        physMem_, config_.memReadLatency, "mem", this);
+    bus_->addTarget(ramBase, ramSize, mainMemory_.get());
+
+    device_ = std::make_unique<io::BurstDevice>(
+        config_.deviceReadLatency, config_.deviceMaxAccept, "dev", this);
+    bus_->addTarget(ioUncachedBase,
+                    (ioCsbBase + ioRegionSize) - ioUncachedBase,
+                    device_.get());
+
+    if (config_.enableNi) {
+        ni_ = std::make_unique<io::NetworkInterface>(
+            sim_, *bus_, niBase, config_.ni, "ni", this);
+        bus_->addTarget(niBase, io::NiMap::windowSize, ni_.get());
+    }
+
+    // Page attributes (section 3.1: encoded in page table entries).
+    pageTable_.setAttr(ioUncachedBase, ioRegionSize, mem::PageAttr::Uncached);
+    pageTable_.setAttr(ioAccelBase, ioRegionSize,
+                       mem::PageAttr::UncachedAccelerated);
+    pageTable_.setAttr(ioCsbBase, ioRegionSize,
+                       config_.enableCsb ? mem::PageAttr::UncachedCombining
+                                         : mem::PageAttr::UncachedAccelerated);
+    if (config_.enableNi) {
+        mem::PageAttr burst_attr = config_.enableCsb
+                                       ? mem::PageAttr::UncachedCombining
+                                       : mem::PageAttr::UncachedAccelerated;
+        pageTable_.setAttr(niBase + io::NiMap::descBase, io::NiMap::descSize,
+                           burst_attr);
+        pageTable_.setAttr(niBase + io::NiMap::doorbell,
+                           mem::PageTable::pageSize,
+                           mem::PageAttr::Uncached);
+        pageTable_.setAttr(niBase + io::NiMap::pioBase, io::NiMap::pioSize,
+                           burst_attr);
+    }
+
+    cores_.resize(config_.numCores);
+    for (unsigned cpu = 0; cpu < config_.numCores; ++cpu)
+        buildCoreSlice(cpu);
+}
+
+void
+System::buildCoreSlice(unsigned cpu)
+{
+    CoreSlice &slice = cores_[cpu];
+    std::string suffix =
+        config_.numCores > 1 ? std::to_string(cpu) : std::string{};
+
+    slice.tlb = std::make_unique<mem::Tlb>(pageTable_, config_.tlbEntries,
+                                           config_.tlbMissPenalty,
+                                           "tlb" + suffix, this);
+
+    slice.caches = std::make_unique<mem::CacheHierarchy>(
+        config_.l1, config_.l2, config_.fixedMissLatency,
+        "caches" + suffix, this);
+    slice.caches->deferredCall = [this](Tick when,
+                                        std::function<void()> fn) {
+        sim_.eventQueue().scheduleFunc(when, std::move(fn));
+    };
+
+    if (config_.routeMissesOverBus) {
+        slice.missMaster =
+            bus_->registerMaster("cachemiss" + suffix + ".port");
+        MasterId miss_master = slice.missMaster;
+        slice.caches->setLineFetch(
+            [this, miss_master](Addr line_addr,
+                                std::function<void(Tick)> done) {
+                // Retry until the miss port is free (overlapping
+                // misses serialize, as with a single MSHR).
+                auto attempt = std::make_shared<std::function<void()>>();
+                *attempt = [this, miss_master, line_addr,
+                            done = std::move(done), attempt]() {
+                    bool ok = bus_->requestRead(
+                        miss_master, line_addr, config_.lineBytes,
+                        /*strongly_ordered=*/false,
+                        [done](Tick when,
+                               const std::vector<std::uint8_t> &) {
+                            done(when);
+                        });
+                    if (!ok) {
+                        sim_.eventQueue().scheduleFunc(
+                            sim_.curTick() + 1, *attempt);
+                    }
+                };
+                (*attempt)();
+            });
+        slice.caches->setLineWriteback([this,
+                                        miss_master](Addr line_addr) {
+            std::vector<std::uint8_t> data(config_.lineBytes);
+            physMem_.read(line_addr, data.data(), data.size());
+            auto attempt = std::make_shared<std::function<void()>>();
+            *attempt = [this, miss_master, line_addr,
+                        data = std::move(data), attempt]() {
+                bool ok = bus_->requestWrite(miss_master, line_addr, data,
+                                             /*strongly_ordered=*/false,
+                                             /*on_complete=*/{});
+                if (!ok) {
+                    sim_.eventQueue().scheduleFunc(sim_.curTick() + 1,
+                                                   *attempt);
+                }
+            };
+            (*attempt)();
+        });
+    }
+
+    slice.ubuf = std::make_unique<mem::UncachedBuffer>(
+        sim_, *bus_, config_.ubuf, "ubuf" + suffix, this);
+
+    if (config_.enableCsb) {
+        slice.csb = std::make_unique<mem::ConditionalStoreBuffer>(
+            sim_, *bus_, config_.csb, "csb" + suffix, this);
+    }
+
+    cpu::CoreMemPorts ports;
+    ports.tlb = slice.tlb.get();
+    ports.caches = slice.caches.get();
+    ports.ubuf = slice.ubuf.get();
+    ports.csb = slice.csb.get();
+    ports.memory = &physMem_;
+    slice.core = std::make_unique<cpu::Core>(sim_, config_.core, ports,
+                                             "cpu" + suffix, this);
+}
+
+System::~System() = default;
+
+bool
+System::quiescent() const
+{
+    for (const CoreSlice &slice : cores_) {
+        if (!slice.ubuf->empty())
+            return false;
+        if (slice.csb && !slice.csb->drained())
+            return false;
+    }
+    if (!bus_->quiescent())
+        return false;
+    if (ni_ && !ni_->idle())
+        return false;
+    return true;
+}
+
+Tick
+System::run(const isa::Program &program, ProcId pid, Tick max_ticks)
+{
+    cores_.at(0).core->loadProgram(&program, pid);
+    Tick end = sim_.run(
+        [this] {
+            for (const CoreSlice &slice : cores_) {
+                if (!slice.core->halted())
+                    return false;
+            }
+            return quiescent();
+        },
+        max_ticks);
+    if (!cores_.at(0).core->halted()) {
+        csb_fatal("program did not halt within ", max_ticks,
+                  " ticks (deadlock or runaway loop?)");
+    }
+    return end;
+}
+
+std::uint64_t
+System::ioWriteBusCycles() const
+{
+    auto is_io_write = [](const bus::TxnRecord &rec) {
+        return rec.kind == bus::TxnKind::Write && rec.addr >= ioUncachedBase;
+    };
+    const bus::BusMonitor &mon = bus_->monitor();
+    if (mon.count(is_io_write) == 0)
+        return 0;
+    return mon.lastDataCycle(is_io_write) - mon.firstAddrCycle(is_io_write) +
+           1;
+}
+
+std::size_t
+System::ioWriteTxns() const
+{
+    return bus_->monitor().count([](const bus::TxnRecord &rec) {
+        return rec.kind == bus::TxnKind::Write && rec.addr >= ioUncachedBase;
+    });
+}
+
+} // namespace csb::core

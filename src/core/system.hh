@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The top-level simulated system: core + caches + TLB + uncached
+ * buffer + CSB + system bus + main memory + I/O devices, wired
+ * according to a SystemConfig.  This is the primary entry point of
+ * the csbsim public API.
+ */
+
+#ifndef CSB_CORE_SYSTEM_HH
+#define CSB_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "bus/system_bus.hh"
+#include "cpu/context_scheduler.hh"
+#include "cpu/core.hh"
+#include "io/burst_device.hh"
+#include "io/network_interface.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/csb.hh"
+#include "mem/main_memory.hh"
+#include "mem/page_table.hh"
+#include "mem/physical_memory.hh"
+#include "mem/uncached_buffer.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "system_config.hh"
+
+namespace csb::core {
+
+/**
+ * A complete single-node system.
+ *
+ * Fixed physical address map:
+ *   [0x0000'0000, 0x1000'0000)  cached RAM
+ *   [0x2000'0000, +1 MiB)       device window, plain uncached pages
+ *   [0x2100'0000, +1 MiB)       device window, uncached-accelerated
+ *   [0x2200'0000, +1 MiB)       device window, uncached-combining
+ *   [0x3000'0000, +8 KiB)       network interface (when enabled),
+ *                               PIO/descriptor pages combining
+ */
+class System : public sim::stats::StatGroup
+{
+  public:
+    static constexpr Addr ramBase = 0x0000'0000;
+    static constexpr Addr ramSize = 0x1000'0000;
+    static constexpr Addr ioUncachedBase = 0x2000'0000;
+    static constexpr Addr ioAccelBase = 0x2100'0000;
+    static constexpr Addr ioCsbBase = 0x2200'0000;
+    static constexpr Addr ioRegionSize = 0x0010'0000;
+    static constexpr Addr niBase = 0x3000'0000;
+
+    explicit System(SystemConfig config);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Load @p program and run until it halts and all buffers, the
+     * bus, and (when enabled) the NI have drained.
+     * @return the tick at which everything went quiescent
+     */
+    Tick run(const isa::Program &program, ProcId pid = 1,
+             Tick max_ticks = 50'000'000);
+
+    /** @return true when all queues/buses/devices are idle. */
+    bool quiescent() const;
+    // Statistics of every component dump via the inherited
+    // StatGroup::dumpStats(std::ostream&).
+
+    // Component access.  The index selects the processor of an SMP
+    // configuration; the index-free forms are the core-0 shorthands
+    // used by single-processor experiments.
+    sim::Simulator &simulator() { return sim_; }
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    cpu::Core &core(unsigned cpu = 0) { return *cores_.at(cpu).core; }
+    mem::UncachedBuffer &uncachedBuffer(unsigned cpu = 0)
+    {
+        return *cores_.at(cpu).ubuf;
+    }
+    mem::ConditionalStoreBuffer *csb(unsigned cpu = 0)
+    {
+        return cores_.at(cpu).csb.get();
+    }
+    mem::CacheHierarchy &caches(unsigned cpu = 0)
+    {
+        return *cores_.at(cpu).caches;
+    }
+    mem::Tlb &tlb(unsigned cpu = 0) { return *cores_.at(cpu).tlb; }
+    bus::SystemBus &bus() { return *bus_; }
+    mem::PhysicalMemory &memory() { return physMem_; }
+    mem::PageTable &pageTable() { return pageTable_; }
+    io::BurstDevice &device() { return *device_; }
+    io::NetworkInterface *ni() { return ni_.get(); }
+
+    const SystemConfig &config() const { return config_; }
+
+    /** Bus cycles from the first to the last I/O write transaction. */
+    std::uint64_t ioWriteBusCycles() const;
+
+    /** Count of I/O write transactions recorded by the bus monitor. */
+    std::size_t ioWriteTxns() const;
+
+  private:
+    /** Per-processor private components. */
+    struct CoreSlice
+    {
+        std::unique_ptr<mem::Tlb> tlb;
+        std::unique_ptr<mem::CacheHierarchy> caches;
+        std::unique_ptr<mem::UncachedBuffer> ubuf;
+        std::unique_ptr<mem::ConditionalStoreBuffer> csb;
+        std::unique_ptr<cpu::Core> core;
+        /** Bus master for cache-miss line fetches (optional). */
+        MasterId missMaster = 0;
+    };
+
+    void buildCoreSlice(unsigned cpu);
+
+    SystemConfig config_;
+    sim::Simulator sim_;
+    mem::PhysicalMemory physMem_;
+    mem::PageTable pageTable_;
+
+    std::unique_ptr<bus::SystemBus> bus_;
+    std::unique_ptr<mem::MainMemory> mainMemory_;
+    std::unique_ptr<io::BurstDevice> device_;
+    std::unique_ptr<io::NetworkInterface> ni_;
+    std::vector<CoreSlice> cores_;
+};
+
+} // namespace csb::core
+
+#endif // CSB_CORE_SYSTEM_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Every knob of a simulated system in one structure.
+ */
+
+#ifndef CSB_CORE_SYSTEM_CONFIG_HH
+#define CSB_CORE_SYSTEM_CONFIG_HH
+
+#include "bus/system_bus.hh"
+#include "cpu/core.hh"
+#include "io/network_interface.hh"
+#include "mem/cache.hh"
+#include "mem/csb.hh"
+#include "mem/uncached_buffer.hh"
+#include "sim/types.hh"
+
+namespace csb::core {
+
+/**
+ * Complete configuration of a System.  Call normalize() after
+ * editing: it propagates the cache-line size into the caches, CSB and
+ * bus max-burst so a single lineBytes edit reconfigures everything,
+ * exactly as the paper's block-size sweeps do.
+ */
+struct SystemConfig
+{
+    /** Cache line size; also the CSB line and the largest bus burst. */
+    unsigned lineBytes = 64;
+
+    /**
+     * Processors on the shared bus (SMP node, as in the paper's
+     * motivation).  Each core gets a private TLB, cache hierarchy,
+     * uncached buffer and CSB; bus, memory and devices are shared.
+     * NOTE: cache coherence is not modelled -- multi-core workloads
+     * must not share writable cached data (uncached/CSB I/O sharing
+     * is fine; that is the point of the experiments).
+     */
+    unsigned numCores = 1;
+
+    bus::BusParams bus;
+
+    cpu::CoreParams core;
+
+    mem::UncachedBufferParams ubuf;
+
+    bool enableCsb = true;
+    mem::CsbParams csb;
+
+    mem::CacheParams l1{32 * 1024, 2, 64, /*hitLatency=*/2};
+    mem::CacheParams l2{512 * 1024, 4, 64, /*hitLatency=*/8};
+
+    /**
+     * Fixed latency charged past the L2 when misses are NOT routed
+     * over the bus.  Tuned so an L1 miss costs ~100 CPU cycles total
+     * (the paper's reference point in section 4.3.2).
+     */
+    Tick fixedMissLatency = 90;
+
+    /** Route L2 misses over the system bus as line reads. */
+    bool routeMissesOverBus = false;
+
+    /** Main-memory read latency seen by the bus target. */
+    Tick memReadLatency = 60;
+
+    unsigned tlbEntries = 64;
+    Tick tlbMissPenalty = 20;
+
+    bool enableNi = false;
+    io::NetworkInterfaceParams ni;
+
+    /** Device register-read latency and burst capability. */
+    Tick deviceReadLatency = 12;
+    unsigned deviceMaxAccept = 128;
+
+    /** Propagate lineBytes; validate everything. */
+    void normalize();
+};
+
+} // namespace csb::core
+
+#endif // CSB_CORE_SYSTEM_CONFIG_HH

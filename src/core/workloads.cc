@@ -1,0 +1,166 @@
+#include "workloads.hh"
+
+#include "io/network_interface.hh"
+#include "kernels.hh"
+#include "sim/logging.hh"
+#include "system.hh"
+
+namespace csb::core {
+
+MessageSizeDistribution
+MessageSizeDistribution::fixed(unsigned bytes)
+{
+    csb_assert(bytes >= 1, "empty message");
+    MessageSizeDistribution dist(Kind::Fixed, 0);
+    dist.fixed_ = bytes;
+    return dist;
+}
+
+MessageSizeDistribution
+MessageSizeDistribution::scientific(std::uint64_t seed)
+{
+    return MessageSizeDistribution(Kind::Uniform, seed);
+}
+
+MessageSizeDistribution
+MessageSizeDistribution::bimodal(unsigned small_bytes,
+                                 unsigned large_bytes,
+                                 double small_fraction,
+                                 std::uint64_t seed)
+{
+    MessageSizeDistribution dist(Kind::Bimodal, seed);
+    dist.small_ = small_bytes;
+    dist.large_ = large_bytes;
+    dist.smallFraction_ = small_fraction;
+    return dist;
+}
+
+unsigned
+MessageSizeDistribution::sample()
+{
+    switch (kind_) {
+      case Kind::Fixed:
+        return fixed_;
+      case Kind::Uniform:
+        return static_cast<unsigned>(rng_.uniform(lo_, hi_));
+      case Kind::Bimodal:
+        return rng_.uniform01() < smallFraction_ ? small_ : large_;
+    }
+    return fixed_;
+}
+
+std::vector<unsigned>
+drawSizes(MessageSizeDistribution dist, unsigned count)
+{
+    std::vector<unsigned> sizes;
+    sizes.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        sizes.push_back(dist.sample());
+    return sizes;
+}
+
+namespace {
+
+using isa::ir;
+
+/** Append one lock-protected PIO send of @p bytes. */
+void
+appendLockedSend(isa::Program &p, unsigned bytes)
+{
+    unsigned dwords = divCeil(bytes, 8);
+    // Acquire (r10 = lock addr preset, r11 scratch).
+    p.li(ir(11), 1);
+    isa::Label spin = p.newLabel();
+    p.bind(spin);
+    p.swap(ir(11), ir(10), 0);
+    p.bne(ir(11), ir(0), spin);
+    p.membar();
+    for (unsigned i = 0; i < dwords; ++i)
+        p.std_(ir(2 + i % 7), ir(1), i * 8);
+    p.membar();
+    p.li(ir(13), static_cast<std::int64_t>(bytes));
+    p.std_(ir(13), ir(14), 0); // doorbell
+    p.membar();
+    p.li(ir(12), 0);
+    p.std_(ir(12), ir(10), 0); // release
+}
+
+/** Append one CSB PIO send of @p bytes (lock-free). */
+void
+appendCsbSend(isa::Program &p, unsigned bytes, unsigned line_bytes)
+{
+    unsigned dwords = divCeil(bytes, 8);
+    for (unsigned group = 0; group * (line_bytes / 8) < dwords;
+         ++group) {
+        unsigned first = group * (line_bytes / 8);
+        unsigned count =
+            std::min<unsigned>(line_bytes / 8, dwords - first);
+        isa::Label retry = p.newLabel();
+        p.bind(retry);
+        p.li(ir(9), static_cast<std::int64_t>(count));
+        for (unsigned i = 0; i < count; ++i)
+            p.std_(ir(2 + (first + i) % 7), ir(1), (first + i) * 8);
+        p.swap(ir(9), ir(1), first * 8);
+        p.li(ir(12), static_cast<std::int64_t>(count));
+        p.bne(ir(9), ir(12), retry);
+    }
+    p.membar(); // drain flushed lines before the doorbell
+    p.li(ir(13), static_cast<std::int64_t>(bytes));
+    p.std_(ir(13), ir(14), 0);
+}
+
+} // namespace
+
+AppTrafficResult
+runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
+                   const std::vector<unsigned> &message_sizes)
+{
+    SystemConfig cfg;
+    cfg.lineBytes = setup.lineBytes;
+    cfg.bus = setup.bus;
+    cfg.enableCsb = use_csb;
+    cfg.ubuf.combineBytes = 0; // conventional PIO baseline
+    cfg.enableNi = true;
+    cfg.normalize();
+    System system(cfg);
+
+    constexpr Addr lock_addr = 0x4000;
+    system.caches().touch(lock_addr);
+
+    Addr pio = System::niBase + io::NiMap::pioBase;
+    Addr bell = System::niBase + io::NiMap::doorbell;
+
+    isa::Program p;
+    for (int r = 2; r <= 8; ++r)
+        p.li(ir(r), 0x5a5a5a5a5a5a5a5aULL);
+    p.li(ir(1), static_cast<std::int64_t>(pio));
+    p.li(ir(10), static_cast<std::int64_t>(lock_addr));
+    p.li(ir(14), static_cast<std::int64_t>(bell));
+    p.mark(0);
+    for (unsigned bytes : message_sizes) {
+        if (use_csb) {
+            appendCsbSend(p, bytes, setup.lineBytes);
+        } else {
+            appendLockedSend(p, bytes);
+        }
+    }
+    p.mark(1);
+    p.halt();
+    p.finalize();
+
+    system.run(p);
+
+    AppTrafficResult result;
+    result.messages = static_cast<unsigned>(message_sizes.size());
+    for (unsigned bytes : message_sizes)
+        result.payloadBytes += bytes;
+    result.totalCycles = static_cast<double>(
+        system.core().markTime(1) - system.core().markTime(0));
+    result.cyclesPerMessage =
+        result.totalCycles / static_cast<double>(result.messages);
+    result.delivered =
+        static_cast<unsigned>(system.ni()->delivered().size());
+    return result;
+}
+
+} // namespace csb::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Application-level message workloads.
+ *
+ * The paper closes with: "The next step is to evaluate the benefits
+ * of these performance advantages in terms of realistic applications,
+ * since the microbenchmarks used in this study were designed to
+ * maximize the pressure on the I/O subsystem rather than model
+ * application reality."  This module takes that step with synthetic
+ * application traffic: message sizes drawn from the distribution the
+ * paper cites (Mukherjee & Hill: average message sizes of 19 to 230
+ * bytes for parallel scientific applications), sent through the
+ * network interface with either conventional lock-protected PIO or
+ * the CSB.
+ */
+
+#ifndef CSB_CORE_WORKLOADS_HH
+#define CSB_CORE_WORKLOADS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments.hh"
+#include "sim/random.hh"
+
+namespace csb::core {
+
+/** Message-size generator. */
+class MessageSizeDistribution
+{
+  public:
+    /** Every message is exactly @p bytes. */
+    static MessageSizeDistribution fixed(unsigned bytes);
+
+    /**
+     * Uniform in [19, 230] bytes -- the range of average message
+     * sizes Mukherjee & Hill report for parallel scientific codes
+     * (paper section 2).
+     */
+    static MessageSizeDistribution scientific(std::uint64_t seed);
+
+    /**
+     * Bimodal: @p small_fraction of messages are @p small_bytes
+     * (control traffic), the rest @p large_bytes (bulk payloads).
+     */
+    static MessageSizeDistribution bimodal(unsigned small_bytes,
+                                           unsigned large_bytes,
+                                           double small_fraction,
+                                           std::uint64_t seed);
+
+    /** Next message size in bytes (>= 1). */
+    unsigned sample();
+
+  private:
+    enum class Kind { Fixed, Uniform, Bimodal };
+
+    MessageSizeDistribution(Kind kind, std::uint64_t seed)
+        : kind_(kind), rng_(seed)
+    {}
+
+    Kind kind_;
+    sim::Random rng_;
+    unsigned fixed_ = 64;
+    unsigned lo_ = 19;
+    unsigned hi_ = 230;
+    unsigned small_ = 32;
+    unsigned large_ = 1024;
+    double smallFraction_ = 0.8;
+};
+
+/** Result of one application-traffic run. */
+struct AppTrafficResult
+{
+    unsigned messages = 0;
+    std::uint64_t payloadBytes = 0;
+    /** Total send-loop time, CPU cycles (mark 0 to mark 1). */
+    double totalCycles = 0;
+    double cyclesPerMessage = 0;
+    /** Messages actually delivered by the NI (sanity). */
+    unsigned delivered = 0;
+};
+
+/**
+ * Send @p message_sizes.size() messages through the NI.
+ * @param use_csb  CSB PIO (lock-free) when true, lock-protected PIO
+ *                 with conventional uncached stores otherwise
+ */
+AppTrafficResult runMessageWorkload(
+    const BandwidthSetup &setup, bool use_csb,
+    const std::vector<unsigned> &message_sizes);
+
+/** Draw @p count sizes from @p dist. */
+std::vector<unsigned> drawSizes(MessageSizeDistribution dist,
+                                unsigned count);
+
+} // namespace csb::core
+
+#endif // CSB_CORE_WORKLOADS_HH

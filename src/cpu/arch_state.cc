@@ -1,0 +1,97 @@
+#include "arch_state.hh"
+
+#include <bit>
+
+namespace csb::cpu {
+
+namespace {
+
+double
+asDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::uint64_t
+asBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+std::uint64_t
+evalAlu(isa::Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using isa::Opcode;
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return a + b;
+      case Opcode::Sub:
+        return a - b;
+      case Opcode::And:
+      case Opcode::Andi:
+        return a & b;
+      case Opcode::Or:
+      case Opcode::Ori:
+        return a | b;
+      case Opcode::Xor:
+      case Opcode::Xori:
+        return a ^ b;
+      case Opcode::Sll:
+      case Opcode::Slli:
+        return a << (b & 63);
+      case Opcode::Srl:
+      case Opcode::Srli:
+        return a >> (b & 63);
+      case Opcode::Sra:
+        return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::Mul:
+        return a * b;
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return sa < sb ? 1 : 0;
+      case Opcode::Sltu:
+        return a < b ? 1 : 0;
+      case Opcode::Li:
+        return b;
+      case Opcode::Fadd:
+        return asBits(asDouble(a) + asDouble(b));
+      case Opcode::Fsub:
+        return asBits(asDouble(a) - asDouble(b));
+      case Opcode::Fmul:
+        return asBits(asDouble(a) * asDouble(b));
+      case Opcode::Fmov:
+      case Opcode::Mvi2f:
+      case Opcode::Mvf2i:
+        return a;
+      case Opcode::Fitod:
+        return asBits(static_cast<double>(sa));
+      default:
+        csb_panic("evalAlu: non-ALU opcode ", isa::mnemonic(op));
+    }
+}
+
+bool
+evalBranch(isa::Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using isa::Opcode;
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Ble: return sa <= sb;
+      case Opcode::Bgt: return sa > sb;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      case Opcode::Jmp: return true;
+      default:
+        csb_panic("evalBranch: non-branch opcode ", isa::mnemonic(op));
+    }
+}
+
+} // namespace csb::cpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Architectural (committed) register state of one hardware context.
+ */
+
+#ifndef CSB_CPU_ARCH_STATE_HH
+#define CSB_CPU_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace csb::cpu {
+
+/**
+ * Committed register file, program counter and process ID of one
+ * context.  All register values are raw 64-bit containers; FP values
+ * are IEEE-754 doubles stored bit-exactly.
+ */
+struct ArchState
+{
+    std::array<std::uint64_t, isa::numIntRegs> intRegs{};
+    std::array<std::uint64_t, isa::numFpRegs> fpRegs{};
+    /** PC as an instruction index into the running Program. */
+    std::uint64_t pc = 0;
+    /** Process ID, available to the CSB (privileged register). */
+    ProcId pid = 0;
+    bool halted = false;
+
+    std::uint64_t
+    readReg(isa::RegId reg) const
+    {
+        // Absent operands (e.g. the rs1 of LI) read as zero, matching
+        // the pipeline's operand capture.
+        if (!reg.valid() || reg.isZero())
+            return 0;
+        if (reg.isInt())
+            return intRegs[reg.idx];
+        return fpRegs[reg.idx];
+    }
+
+    void
+    writeReg(isa::RegId reg, std::uint64_t value)
+    {
+        if (!reg.valid() || reg.isZero())
+            return;
+        if (reg.isInt()) {
+            intRegs[reg.idx] = value;
+        } else {
+            fpRegs[reg.idx] = value;
+        }
+    }
+};
+
+/**
+ * Pure functional evaluation of an ALU operation.
+ * @param op  the opcode (must be an IntAlu or FpAlu class op)
+ * @param a   first source value (raw bits)
+ * @param b   second source value or immediate (raw bits)
+ * @return result bits
+ */
+std::uint64_t evalAlu(isa::Opcode op, std::uint64_t a, std::uint64_t b);
+
+/**
+ * Evaluate a branch condition.
+ * @return true when the branch is taken
+ */
+bool evalBranch(isa::Opcode op, std::uint64_t a, std::uint64_t b);
+
+} // namespace csb::cpu
+
+#endif // CSB_CPU_ARCH_STATE_HH

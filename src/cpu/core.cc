@@ -1,0 +1,715 @@
+#include "core.hh"
+
+#include <cstring>
+
+#include "sim/trace.hh"
+
+namespace csb::cpu {
+
+using isa::InstClass;
+using isa::Opcode;
+using isa::RegId;
+
+void
+CoreParams::validate() const
+{
+    if (fetchWidth == 0 || retireWidth == 0 || windowSize == 0)
+        csb_fatal("core widths must be non-zero");
+    if (intUnits == 0)
+        csb_fatal("core needs at least one integer unit");
+    if (maxUncachedRetirePerCycle == 0)
+        csb_fatal("core must retire at least one uncached op per cycle");
+}
+
+Core::Core(sim::Simulator &simulator, const CoreParams &params,
+           const CoreMemPorts &ports, std::string name,
+           sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(1), /*eval_order=*/0),
+      sim::stats::StatGroup(name, stat_parent),
+      numCycles(this, "numCycles", "cycles simulated"),
+      instsRetired(this, "instsRetired", "instructions committed"),
+      instsDispatched(this, "instsDispatched", "instructions dispatched"),
+      branchFetchStallCycles(this, "branchFetchStallCycles",
+                             "cycles fetch waited on a branch"),
+      windowFullStallCycles(this, "windowFullStallCycles",
+                            "cycles dispatch stalled on a full window"),
+      uncachedRetireStallCycles(this, "uncachedRetireStallCycles",
+                                "cycles retire stalled on uncached ops"),
+      membarStallCycles(this, "membarStallCycles",
+                        "cycles a MEMBAR waited for the uncached buffer"),
+      csbStoreStallCycles(this, "csbStoreStallCycles",
+                          "cycles retire stalled on a busy CSB"),
+      contextSwitches(this, "contextSwitches", "pipeline squashes"),
+      ipc(this, "ipc", "retired instructions per cycle",
+          [this] {
+              double cycles = numCycles.value();
+              return cycles > 0 ? instsRetired.value() / cycles : 0.0;
+          }),
+      sim_(simulator), params_(params), ports_(ports)
+{
+    params_.validate();
+    csb_assert(ports_.tlb && ports_.caches && ports_.ubuf && ports_.memory,
+               "core is missing a memory port");
+    simulator.registerClocked(this);
+}
+
+std::uint32_t
+Core::regKey(const RegId &reg)
+{
+    return (static_cast<std::uint32_t>(reg.cls) << 8) | reg.idx;
+}
+
+void
+Core::loadProgram(const isa::Program *program, ProcId pid)
+{
+    csb_assert(program != nullptr && program->finalized(),
+               "loadProgram needs a finalized program");
+    program_ = program;
+    arch_ = ArchState{};
+    arch_.pid = pid;
+    spec_ = arch_;
+    window_.clear();
+    lastWriter_.clear();
+    fetchPc_ = 0;
+    fetchHalted_ = false;
+    fetchStallSeq_ = 0;
+    switchPending_ = false;
+    ++epoch_;
+}
+
+Tick
+Core::markTime(std::int64_t id) const
+{
+    for (const MarkRecord &mark : marks_) {
+        if (mark.first == id)
+            return mark.second;
+    }
+    return maxTick;
+}
+
+void
+Core::requestContextSwitch(
+    const isa::Program *next_program, const ArchState &next_state,
+    std::function<void(const ArchState &)> on_switched)
+{
+    csb_assert(!switchPending_, "context switch already pending");
+    csb_assert(next_program && next_program->finalized(),
+               "switch target program not finalized");
+    switchPending_ = true;
+    nextProgram_ = next_program;
+    nextState_ = next_state;
+    onSwitched_ = std::move(on_switched);
+}
+
+void
+Core::doSquashAndSwitch()
+{
+    ArchState saved = arch_;
+    ++epoch_;
+    window_.clear();
+    lastWriter_.clear();
+    arch_ = nextState_;
+    spec_ = arch_;
+    program_ = nextProgram_;
+    fetchPc_ = arch_.pc;
+    fetchHalted_ = arch_.halted;
+    fetchStallSeq_ = 0;
+    switchPending_ = false;
+    contextSwitches += 1;
+    sim::trace::log("cpu", "context switch to pid=", arch_.pid,
+                    " pc=", arch_.pc);
+    if (onSwitched_) {
+        auto cb = std::move(onSwitched_);
+        onSwitched_ = nullptr;
+        cb(saved);
+    }
+}
+
+void
+Core::tick()
+{
+    numCycles += 1;
+    if (switchPending_) {
+        // Squash only when no non-speculative head operation is in
+        // flight, preserving exactly-once semantics for I/O.
+        if (window_.empty() || !window_.front().headOpStarted)
+            doSquashAndSwitch();
+    }
+    if (program_ == nullptr)
+        return;
+    retireStage();
+    issueStage();
+    fetchStage();
+}
+
+// ---------------------------------------------------------------------
+// Dispatch helpers
+
+std::pair<RegId, RegId>
+Core::sourcesOf(const isa::Instruction &inst)
+{
+    switch (inst.instClass()) {
+      case InstClass::IntAlu:
+      case InstClass::FpAlu:
+        return {inst.rs1, inst.rs2};
+      case InstClass::Load:
+        return {inst.rs1, isa::noReg};
+      case InstClass::Store:
+        return {inst.rs1, inst.rs2};
+      case InstClass::Swap:
+        // rd supplies the value written to memory (and, for the
+        // conditional flush, the expected hit count).
+        return {inst.rs1, inst.rd};
+      case InstClass::Branch:
+        return {inst.rs1, inst.rs2};
+      default:
+        return {isa::noReg, isa::noReg};
+    }
+}
+
+RegId
+Core::destOf(const isa::Instruction &inst)
+{
+    switch (inst.instClass()) {
+      case InstClass::IntAlu:
+      case InstClass::FpAlu:
+      case InstClass::Load:
+      case InstClass::Swap:
+        return inst.rd;
+      default:
+        return isa::noReg;
+    }
+}
+
+Core::DynInst *
+Core::findBySeq(std::uint64_t seq)
+{
+    for (DynInst &di : window_) {
+        if (di.seq == seq)
+            return &di;
+    }
+    return nullptr;
+}
+
+void
+Core::captureOperand(const RegId &reg, std::uint64_t &producer,
+                     std::uint64_t &value)
+{
+    producer = 0;
+    if (!reg.valid() || reg.isZero()) {
+        value = 0;
+        return;
+    }
+    auto it = lastWriter_.find(regKey(reg));
+    if (it != lastWriter_.end()) {
+        if (DynInst *writer = findBySeq(it->second)) {
+            if (writer->state == State::Done) {
+                value = writer->result;
+            } else {
+                producer = writer->seq;
+                value = 0;
+            }
+            return;
+        }
+    }
+    value = spec_.readReg(reg);
+}
+
+bool
+Core::operandsReady(const DynInst &inst) const
+{
+    return inst.src1Producer == 0 && inst.src2Producer == 0;
+}
+
+void
+Core::fetchStage()
+{
+    if (fetchHalted_ || program_ == nullptr)
+        return;
+    if (fetchStallSeq_ != 0) {
+        branchFetchStallCycles += 1;
+        return;
+    }
+
+    Tick now = sim_.curTick();
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth) {
+        if (window_.size() >= params_.windowSize) {
+            windowFullStallCycles += 1;
+            break;
+        }
+        csb_assert(fetchPc_ < program_->size(),
+                   "fetch fell off the end of the program");
+        const isa::Instruction &inst = program_->at(fetchPc_);
+
+        DynInst di;
+        di.seq = nextSeq_++;
+        di.pc = fetchPc_;
+        di.inst = inst;
+        di.dispatchTick = now;
+
+        auto [s1, s2] = sourcesOf(inst);
+        captureOperand(s1, di.src1Producer, di.src1Val);
+        captureOperand(s2, di.src2Producer, di.src2Val);
+
+        InstClass cls = inst.instClass();
+        if (cls == InstClass::Nop || cls == InstClass::Mark ||
+            cls == InstClass::Halt || cls == InstClass::Membar) {
+            di.state = State::Done;
+        }
+
+        bool branch_resolved_taken = false;
+        bool branch_stalls = false;
+        if (cls == InstClass::Branch) {
+            if (operandsReady(di)) {
+                di.resolved = true;
+                di.taken = evalBranch(inst.op, di.src1Val, di.src2Val);
+                branch_resolved_taken = di.taken;
+            } else {
+                branch_stalls = true;
+            }
+        }
+
+        RegId rd = destOf(inst);
+        std::uint64_t seq = di.seq;
+        window_.push_back(std::move(di));
+        instsDispatched += 1;
+        ++fetched;
+        if (rd.valid() && !rd.isZero())
+            lastWriter_[regKey(rd)] = seq;
+
+        if (cls == InstClass::Branch) {
+            if (branch_stalls) {
+                fetchStallSeq_ = seq;
+                break;
+            }
+            if (branch_resolved_taken) {
+                fetchPc_ = static_cast<std::uint64_t>(inst.target);
+                break; // one fetch redirect per cycle
+            }
+            ++fetchPc_;
+        } else if (cls == InstClass::Halt) {
+            fetchHalted_ = true;
+            break;
+        } else {
+            ++fetchPc_;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+
+void
+Core::finishInst(DynInst &inst, std::uint64_t result)
+{
+    csb_assert(inst.state != State::Done, "double writeback of seq ",
+               inst.seq);
+    inst.result = result;
+    inst.state = State::Done;
+
+    RegId rd = destOf(inst.inst);
+    if (rd.valid() && !rd.isZero()) {
+        auto it = lastWriter_.find(regKey(rd));
+        if (it != lastWriter_.end() && it->second == inst.seq)
+            spec_.writeReg(rd, result);
+    }
+
+    for (DynInst &di : window_) {
+        if (di.src1Producer == inst.seq) {
+            di.src1Producer = 0;
+            di.src1Val = result;
+        }
+        if (di.src2Producer == inst.seq) {
+            di.src2Producer = 0;
+            di.src2Val = result;
+        }
+    }
+
+    if (inst.inst.instClass() == InstClass::Branch) {
+        if (!inst.resolved) {
+            inst.resolved = true;
+            inst.taken =
+                evalBranch(inst.inst.op, inst.src1Val, inst.src2Val);
+        }
+        if (fetchStallSeq_ == inst.seq) {
+            fetchStallSeq_ = 0;
+            fetchPc_ = inst.taken
+                           ? static_cast<std::uint64_t>(inst.inst.target)
+                           : inst.pc + 1;
+        }
+    }
+}
+
+bool
+Core::loadBlockedByStore(const DynInst &load, std::uint64_t &fwd_val,
+                         bool &can_forward) const
+{
+    can_forward = false;
+    for (const DynInst &di : window_) {
+        if (di.seq >= load.seq)
+            break;
+        if (!isStore(di.inst.op))
+            continue;
+        if (!di.addrKnown)
+            return true; // conservative: unknown older store address
+        Addr lo = di.effAddr;
+        Addr hi = di.effAddr + di.size;
+        bool overlap = load.effAddr < hi && lo < load.effAddr + load.size;
+        if (!overlap)
+            continue;
+        // Exact match against a plain cached store with its data
+        // ready forwards; everything else waits for the store to
+        // retire.  Uncached data is never forwarded (section 4.1).
+        if (di.inst.instClass() == InstClass::Store &&
+            di.attr == mem::PageAttr::Cached &&
+            di.effAddr == load.effAddr && di.size == load.size &&
+            di.src2Producer == 0) {
+            fwd_val = di.src2Val;
+            can_forward = true;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+Core::issueStage()
+{
+    unsigned int_free = params_.intUnits;
+    unsigned fp_free = params_.fpUnits;
+    unsigned mem_free = params_.memPorts;
+    Tick now = sim_.curTick();
+
+    for (DynInst &di : window_) {
+        if (di.state != State::Dispatched || di.dispatchTick == now)
+            continue;
+        if (!operandsReady(di))
+            continue;
+
+        InstClass cls = di.inst.instClass();
+        std::uint64_t seq = di.seq;
+        std::uint64_t epoch = epoch_;
+        auto finish_later = [this, seq, epoch](Tick when,
+                                               std::uint64_t result) {
+            sim_.eventQueue().scheduleFunc(when,
+                [this, seq, epoch, result] {
+                    if (epoch != epoch_)
+                        return;
+                    if (DynInst *p = findBySeq(seq))
+                        finishInst(*p, result);
+                });
+        };
+
+        if (cls == InstClass::IntAlu || cls == InstClass::FpAlu) {
+            unsigned &pool = cls == InstClass::IntAlu ? int_free : fp_free;
+            if (pool == 0)
+                continue;
+            --pool;
+            std::uint64_t a = di.src1Val;
+            std::uint64_t b = di.inst.rs2.valid()
+                                  ? di.src2Val
+                                  : static_cast<std::uint64_t>(di.inst.imm);
+            std::uint64_t result = evalAlu(di.inst.op, a, b);
+            Tick lat = params_.intLatency;
+            if (di.inst.op == Opcode::Mul)
+                lat = params_.mulLatency;
+            else if (cls == InstClass::FpAlu)
+                lat = params_.fpLatency;
+            di.state = State::Issued;
+            finish_later(now + lat, result);
+        } else if (cls == InstClass::Branch) {
+            if (int_free == 0)
+                continue;
+            --int_free;
+            di.state = State::Issued;
+            finish_later(now + params_.intLatency, 0);
+        } else if (cls == InstClass::Load || cls == InstClass::Store ||
+                   cls == InstClass::Swap) {
+            if (mem_free == 0)
+                continue;
+
+            // Address generation + translation.
+            Addr addr = di.src1Val + static_cast<std::uint64_t>(di.inst.imm);
+            unsigned size = isa::accessSize(di.inst.op);
+            if (addr % size != 0) {
+                csb_fatal("misaligned ", isa::mnemonic(di.inst.op),
+                          " to 0x", std::hex, addr, std::dec, " at pc ",
+                          di.pc);
+            }
+            Tick tlb_penalty = 0;
+            mem::PageAttr attr =
+                ports_.tlb->translate(addr, arch_.pid, tlb_penalty);
+            di.effAddr = addr;
+            di.size = size;
+            di.attr = attr;
+            di.addrKnown = true;
+
+            if (cls == InstClass::Store) {
+                --mem_free;
+                di.state = State::Issued;
+                // Address and data are staged; the store takes effect
+                // at commit.
+                finish_later(now + params_.intLatency + tlb_penalty, 0);
+            } else if (cls == InstClass::Swap) {
+                --mem_free;
+                // Executes non-speculatively at the window head.
+                di.state = State::Issued;
+            } else if (attr == mem::PageAttr::Cached) {
+                std::uint64_t fwd = 0;
+                bool can_forward = false;
+                if (loadBlockedByStore(di, fwd, can_forward)) {
+                    if (!can_forward)
+                        continue; // retry next cycle
+                    --mem_free;
+                    di.state = State::Issued;
+                    finish_later(now + params_.intLatency + tlb_penalty,
+                                 fwd);
+                } else {
+                    --mem_free;
+                    di.state = State::Issued;
+                    ports_.caches->access(
+                        addr, /*is_write=*/false, now + tlb_penalty,
+                        [this, seq, epoch](Tick) {
+                            if (epoch != epoch_)
+                                return;
+                            DynInst *p = findBySeq(seq);
+                            if (!p)
+                                return;
+                            std::uint64_t bits = 0;
+                            ports_.memory->read(p->effAddr, &bits,
+                                                p->size);
+                            finishInst(*p, bits);
+                        });
+                }
+            } else {
+                --mem_free;
+                // Uncached load: executes at the window head.
+                di.state = State::Issued;
+            }
+        }
+        // Nop/Mark/Halt/Membar are Done at dispatch.
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retire
+
+void
+Core::retireStage()
+{
+    unsigned retired = 0;
+    unsigned uncached_retired = 0;
+    while (retired < params_.retireWidth && !window_.empty()) {
+        if (!commitHead(uncached_retired))
+            break;
+        ++retired;
+    }
+}
+
+void
+Core::startHeadSwap(DynInst &head)
+{
+    Tick now = sim_.curTick();
+    std::uint64_t seq = head.seq;
+    std::uint64_t epoch = epoch_;
+
+    if (head.attr == mem::PageAttr::Cached) {
+        head.headOpStarted = true;
+        ports_.caches->access(
+            head.effAddr, /*is_write=*/true, now,
+            [this, seq, epoch](Tick) {
+                if (epoch != epoch_)
+                    return;
+                DynInst *p = findBySeq(seq);
+                if (!p)
+                    return;
+                // Atomic read-modify-write.
+                std::uint64_t old = 0;
+                ports_.memory->read(p->effAddr, &old, p->size);
+                ports_.memory->write(p->effAddr, &p->src2Val, p->size);
+                finishInst(*p, old);
+            });
+        return;
+    }
+
+    if (head.attr == mem::PageAttr::UncachedCombining && ports_.csb) {
+        // The conditional flush (section 3.2): the swap value is the
+        // expected hit count; success leaves it unchanged, failure
+        // returns zero.
+        head.headOpStarted = true;
+        bool ok = ports_.csb->conditionalFlush(arch_.pid, head.effAddr,
+                                               head.src2Val);
+        std::uint64_t result = ok ? head.src2Val : 0;
+        sim_.eventQueue().scheduleFunc(
+            now + params_.csbFlushLatency,
+            [this, seq, epoch, result] {
+                if (epoch != epoch_)
+                    return;
+                if (DynInst *p = findBySeq(seq))
+                    finishInst(*p, result);
+            });
+        return;
+    }
+
+    // Plain uncached swap: an atomic bus read-modify-write through the
+    // uncached buffer, blocking retire until complete.
+    if (!ports_.ubuf->canAcceptLoad())
+        return; // retry next cycle
+    head.headOpStarted = true;
+    ports_.ubuf->pushLoad(
+        head.effAddr, head.size,
+        [this, seq, epoch](Tick, const std::vector<std::uint8_t> &data) {
+            if (epoch != epoch_)
+                return;
+            DynInst *p = findBySeq(seq);
+            if (!p)
+                return;
+            std::uint64_t old = 0;
+            std::memcpy(&old, data.data(),
+                        std::min<std::size_t>(data.size(), 8));
+            csb_assert(ports_.ubuf->canAcceptStore(p->effAddr, p->size),
+                       "uncached buffer full during atomic swap");
+            ports_.ubuf->pushStore(p->effAddr, p->size, &p->src2Val);
+            finishInst(*p, old);
+        });
+}
+
+void
+Core::startHeadUncachedLoad(DynInst &head)
+{
+    if (!ports_.ubuf->canAcceptLoad())
+        return; // retry next cycle
+    std::uint64_t seq = head.seq;
+    std::uint64_t epoch = epoch_;
+    head.headOpStarted = true;
+    ports_.ubuf->pushLoad(
+        head.effAddr, head.size,
+        [this, seq, epoch](Tick, const std::vector<std::uint8_t> &data) {
+            if (epoch != epoch_)
+                return;
+            DynInst *p = findBySeq(seq);
+            if (!p)
+                return;
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, data.data(),
+                        std::min<std::size_t>(data.size(), 8));
+            finishInst(*p, bits);
+        });
+}
+
+bool
+Core::commitStore(DynInst &head, unsigned &uncached_retired)
+{
+    if (head.attr == mem::PageAttr::Cached) {
+        ports_.memory->write(head.effAddr, &head.src2Val, head.size);
+        // Tag update only; store latency is absorbed by write buffers.
+        ports_.caches->accessLatency(head.effAddr, /*is_write=*/true);
+        return true;
+    }
+
+    // All flavours of uncached stores obey the per-cycle retire limit.
+    if (uncached_retired >= params_.maxUncachedRetirePerCycle) {
+        uncachedRetireStallCycles += 1;
+        return false;
+    }
+
+    if (head.attr == mem::PageAttr::UncachedCombining && ports_.csb) {
+        if (!ports_.csb->canAcceptStore()) {
+            csbStoreStallCycles += 1;
+            return false;
+        }
+        ports_.csb->store(arch_.pid, head.effAddr, head.size,
+                          &head.src2Val);
+        ++uncached_retired;
+        return true;
+    }
+
+    if (!ports_.ubuf->canAcceptStore(head.effAddr, head.size)) {
+        uncachedRetireStallCycles += 1;
+        return false;
+    }
+    ports_.ubuf->pushStore(head.effAddr, head.size, &head.src2Val);
+    ++uncached_retired;
+    return true;
+}
+
+bool
+Core::commitHead(unsigned &uncached_retired)
+{
+    DynInst &head = window_.front();
+    InstClass cls = head.inst.instClass();
+    Tick now = sim_.curTick();
+
+    switch (cls) {
+      case InstClass::Membar:
+        // Drain the uncached buffer (paper section 4.1) and any
+        // flushed-but-unsent CSB lines, so that device writes issued
+        // after the barrier cannot pass earlier I/O traffic.
+        if (!ports_.ubuf->empty() ||
+            (ports_.csb && !ports_.csb->drained())) {
+            membarStallCycles += 1;
+            return false;
+        }
+        break;
+
+      case InstClass::Store:
+        if (head.state != State::Done)
+            return false;
+        if (!commitStore(head, uncached_retired))
+            return false;
+        break;
+
+      case InstClass::Swap:
+        if (head.state != State::Done) {
+            if (!head.headOpStarted && head.addrKnown)
+                startHeadSwap(head);
+            return false;
+        }
+        break;
+
+      case InstClass::Load:
+        if (head.state != State::Done) {
+            if (head.addrKnown && head.attr != mem::PageAttr::Cached &&
+                !head.headOpStarted) {
+                startHeadUncachedLoad(head);
+            }
+            return false;
+        }
+        break;
+
+      case InstClass::Mark:
+        marks_.emplace_back(head.inst.imm, now);
+        break;
+
+      case InstClass::Halt:
+        arch_.halted = true;
+        fetchHalted_ = true;
+        break;
+
+      default:
+        if (head.state != State::Done)
+            return false;
+        break;
+    }
+
+    // Commit.
+    RegId rd = destOf(head.inst);
+    if (rd.valid() && !rd.isZero())
+        arch_.writeReg(rd, head.result);
+
+    if (cls == InstClass::Branch) {
+        csb_assert(head.resolved, "retiring an unresolved branch");
+        arch_.pc = head.taken
+                       ? static_cast<std::uint64_t>(head.inst.target)
+                       : head.pc + 1;
+    } else {
+        arch_.pc = head.pc + 1;
+    }
+
+    instsRetired += 1;
+    window_.pop_front();
+    return true;
+}
+
+} // namespace csb::cpu

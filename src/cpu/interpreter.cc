@@ -1,0 +1,87 @@
+#include "interpreter.hh"
+
+namespace csb::cpu {
+
+using isa::InstClass;
+using isa::Opcode;
+
+ArchState
+Interpreter::run(std::uint64_t max_steps)
+{
+    ArchState state;
+    marks_.clear();
+    instsExecuted_ = 0;
+
+    while (!state.halted && instsExecuted_ < max_steps) {
+        csb_assert(state.pc < program_.size(),
+                   "interpreter fell off the program");
+        const isa::Instruction &inst = program_.at(state.pc);
+        ++instsExecuted_;
+        std::uint64_t next_pc = state.pc + 1;
+
+        switch (inst.instClass()) {
+          case InstClass::Nop:
+            break;
+          case InstClass::Halt:
+            state.halted = true;
+            break;
+          case InstClass::Mark:
+            marks_.push_back(inst.imm);
+            break;
+          case InstClass::IntAlu:
+          case InstClass::FpAlu: {
+            std::uint64_t a = state.readReg(inst.rs1);
+            std::uint64_t b = inst.rs2.valid()
+                                  ? state.readReg(inst.rs2)
+                                  : static_cast<std::uint64_t>(inst.imm);
+            state.writeReg(inst.rd, evalAlu(inst.op, a, b));
+            break;
+          }
+          case InstClass::Load: {
+            Addr addr = state.readReg(inst.rs1) +
+                        static_cast<std::uint64_t>(inst.imm);
+            unsigned size = isa::accessSize(inst.op);
+            csb_assert(addr % size == 0, "interpreter: misaligned load");
+            std::uint64_t bits = 0;
+            memory_.read(addr, &bits, size);
+            state.writeReg(inst.rd, bits);
+            break;
+          }
+          case InstClass::Store: {
+            Addr addr = state.readReg(inst.rs1) +
+                        static_cast<std::uint64_t>(inst.imm);
+            unsigned size = isa::accessSize(inst.op);
+            csb_assert(addr % size == 0, "interpreter: misaligned store");
+            std::uint64_t bits = state.readReg(inst.rs2);
+            memory_.write(addr, &bits, size);
+            break;
+          }
+          case InstClass::Swap: {
+            Addr addr = state.readReg(inst.rs1) +
+                        static_cast<std::uint64_t>(inst.imm);
+            unsigned size = isa::accessSize(inst.op);
+            csb_assert(addr % size == 0, "interpreter: misaligned swap");
+            std::uint64_t old = 0;
+            memory_.read(addr, &old, size);
+            std::uint64_t nv = state.readReg(inst.rd);
+            memory_.write(addr, &nv, size);
+            state.writeReg(inst.rd, old);
+            break;
+          }
+          case InstClass::Membar:
+            // Sequential execution is already strongly ordered.
+            break;
+          case InstClass::Branch: {
+            bool taken = evalBranch(inst.op, state.readReg(inst.rs1),
+                                    state.readReg(inst.rs2));
+            if (taken)
+                next_pc = static_cast<std::uint64_t>(inst.target);
+            break;
+          }
+        }
+        state.pc = next_pc;
+    }
+    return state;
+}
+
+} // namespace csb::cpu

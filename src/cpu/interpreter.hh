@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional reference model of the mini-ISA.
+ *
+ * Executes a Program strictly sequentially against a PhysicalMemory,
+ * with none of the pipeline's reordering.  Used as the oracle for
+ * differential testing of the out-of-order core: for programs whose
+ * memory accesses stay in cached space, the core must produce exactly
+ * the interpreter's architectural state, no matter how aggressively
+ * it reorders.
+ */
+
+#ifndef CSB_CPU_INTERPRETER_HH
+#define CSB_CPU_INTERPRETER_HH
+
+#include <vector>
+
+#include "arch_state.hh"
+#include "isa/program.hh"
+#include "mem/physical_memory.hh"
+
+namespace csb::cpu {
+
+/** Sequential reference executor. */
+class Interpreter
+{
+  public:
+    Interpreter(const isa::Program &program, mem::PhysicalMemory &memory)
+        : program_(program), memory_(memory)
+    {
+        csb_assert(program.finalized(), "interpreter needs a finalized "
+                                        "program");
+    }
+
+    /**
+     * Run until HALT or @p max_steps instructions.
+     * @return final architectural state (halted flag set on HALT)
+     */
+    ArchState run(std::uint64_t max_steps = 1'000'000);
+
+    /** Mark ids in commit order (timestamps are meaningless here). */
+    const std::vector<std::int64_t> &marks() const { return marks_; }
+
+    /** Instructions executed by the last run(). */
+    std::uint64_t instsExecuted() const { return instsExecuted_; }
+
+  private:
+    const isa::Program &program_;
+    mem::PhysicalMemory &memory_;
+    std::vector<std::int64_t> marks_;
+    std::uint64_t instsExecuted_ = 0;
+};
+
+} // namespace csb::cpu
+
+#endif // CSB_CPU_INTERPRETER_HH

@@ -1,0 +1,64 @@
+#include "burst_device.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace csb::io {
+
+BurstDevice::BurstDevice(Tick read_latency, unsigned max_accept,
+                         std::string name,
+                         sim::stats::StatGroup *stat_parent)
+    : sim::stats::StatGroup(name, stat_parent),
+      writesReceived(this, "writesReceived", "write transactions seen"),
+      bytesReceived(this, "bytesReceived", "bytes written to the device"),
+      readsServed(this, "readsServed", "register reads served"),
+      name_(std::move(name)), readLatency_(read_latency),
+      maxAccept_(max_accept)
+{
+}
+
+void
+BurstDevice::write(const bus::BusTransaction &txn, Tick now)
+{
+    if (txn.size > maxAccept_) {
+        csb_fatal("device '", name_, "' cannot accept a ", txn.size,
+                  "-byte burst (max ", maxAccept_,
+                  "); see DESIGN.md / paper section 3.3");
+    }
+    DeviceWrite rec;
+    rec.addr = txn.addr;
+    rec.data = txn.data;
+    rec.completionTick = now;
+    writeLog_.push_back(std::move(rec));
+    writesReceived += 1;
+    bytesReceived += txn.size;
+}
+
+Tick
+BurstDevice::read(const bus::BusTransaction &txn, Tick,
+                  std::vector<std::uint8_t> &data)
+{
+    data.assign(txn.size, 0);
+    for (const auto &[addr, value] : registers_) {
+        if (addr >= txn.addr && addr + 8 <= txn.addr + txn.size) {
+            std::memcpy(data.data() + (addr - txn.addr), &value, 8);
+        }
+    }
+    readsServed += 1;
+    return readLatency_;
+}
+
+void
+BurstDevice::setRegister(Addr addr, std::uint64_t value)
+{
+    for (auto &[existing, stored] : registers_) {
+        if (existing == addr) {
+            stored = value;
+            return;
+        }
+    }
+    registers_.emplace_back(addr, value);
+}
+
+} // namespace csb::io

@@ -1,0 +1,194 @@
+#include "network_interface.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace csb::io {
+
+NetworkInterface::NetworkInterface(sim::Simulator &simulator,
+                                   bus::SystemBus &bus, Addr base,
+                                   const NetworkInterfaceParams &params,
+                                   std::string name,
+                                   sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(1), /*eval_order=*/-3),
+      sim::stats::StatGroup(name, stat_parent),
+      pioMessages(this, "pioMessages", "messages sent via PIO"),
+      dmaMessages(this, "dmaMessages", "messages sent via DMA"),
+      bytesSent(this, "bytesSent", "payload bytes onto the wire"),
+      descriptorsPushed(this, "descriptorsPushed",
+                        "DMA descriptors accepted"),
+      sim_(simulator), bus_(bus), base_(base), params_(params),
+      name_(std::move(name))
+{
+    masterId_ = bus_.registerMaster(name_ + ".dma");
+    simulator.registerClocked(this);
+}
+
+void
+NetworkInterface::write(const bus::BusTransaction &txn, Tick now)
+{
+    csb_assert(txn.addr >= base_ &&
+               txn.addr + txn.size <= base_ + NiMap::windowSize,
+               "write outside the NI window");
+    Addr offset = txn.addr - base_;
+
+    if (offset >= NiMap::descBase &&
+        offset + txn.size <= NiMap::descBase + NiMap::descSize) {
+        // Descriptor region: every non-zero doubleword is one
+        // descriptor; zero doublewords are CSB padding (section 3.2).
+        csb_assert(txn.size % 8 == 0, "descriptor write not dword-sized");
+        for (unsigned i = 0; i < txn.size; i += 8) {
+            std::uint64_t desc = 0;
+            std::memcpy(&desc, txn.data.data() + i, 8);
+            if (desc != 0)
+                pushDescriptor(desc, now);
+        }
+        return;
+    }
+
+    if (offset == NiMap::doorbell && txn.size == 8) {
+        std::uint64_t length = 0;
+        std::memcpy(&length, txn.data.data(), 8);
+        csb_assert(length > 0 && length <= pioBuffer_.size(),
+                   "doorbell length ", length, " exceeds PIO buffer ",
+                   pioBuffer_.size());
+        // Take the first `length` bytes: CSB zero-padding, when
+        // present, trails the payload of the final line burst.
+        std::vector<std::uint8_t> payload(
+            pioBuffer_.begin(),
+            pioBuffer_.begin() + static_cast<std::ptrdiff_t>(length));
+        pioBuffer_.clear();
+        finishMessage(std::move(payload), now, /*via_dma=*/false);
+        pioMessages += 1;
+        return;
+    }
+
+    if (offset >= NiMap::pioBase &&
+        offset + txn.size <= NiMap::pioBase + NiMap::pioSize) {
+        // PIO window: append the payload bytes in arrival order.
+        pioBuffer_.insert(pioBuffer_.end(), txn.data.begin(),
+                          txn.data.end());
+        return;
+    }
+
+    csb_fatal("NI write to unmapped offset 0x", std::hex, offset,
+              std::dec, " size ", txn.size);
+}
+
+Tick
+NetworkInterface::read(const bus::BusTransaction &txn, Tick,
+                       std::vector<std::uint8_t> &data)
+{
+    // Status register: pending DMA jobs + messages in flight.
+    data.assign(txn.size, 0);
+    std::uint64_t status = dmaQueue_.size() + messagesInWire_;
+    std::memcpy(data.data(), &status,
+                std::min<std::size_t>(8, txn.size));
+    return params_.readLatency;
+}
+
+void
+NetworkInterface::pushDescriptor(std::uint64_t desc, Tick now)
+{
+    DmaJob job;
+    job.source = desc >> 16;
+    job.length = static_cast<unsigned>(desc & 0xffff);
+    csb_assert(job.length > 0, "descriptor with zero length");
+    job.payload.reserve(job.length);
+    job.startTick = now;
+    dmaQueue_.push_back(std::move(job));
+    descriptorsPushed += 1;
+}
+
+void
+NetworkInterface::finishMessage(std::vector<std::uint8_t> payload,
+                                Tick now, bool via_dma)
+{
+    // Serialize onto the wire.
+    Tick start = std::max(now, wireFreeAt_);
+    auto tx_ticks = static_cast<Tick>(
+        static_cast<double>(payload.size()) * params_.wireTicksPerByte);
+    Tick send_done = start + tx_ticks;
+    Tick deliver = send_done + params_.wireLatency;
+    wireFreeAt_ = send_done;
+    bytesSent += payload.size();
+    ++messagesInWire_;
+
+    DeliveredMessage msg;
+    msg.payload = std::move(payload);
+    msg.sendTick = send_done;
+    msg.deliverTick = deliver;
+    msg.viaDma = via_dma;
+    sim_.eventQueue().scheduleFunc(deliver, [this, m = std::move(msg)] {
+        delivered_.push_back(m);
+        --messagesInWire_;
+    });
+}
+
+void
+NetworkInterface::tick()
+{
+    if (dmaQueue_.empty())
+        return;
+    DmaJob &job = dmaQueue_.front();
+    Tick now = sim_.curTick();
+
+    if (!job.startupDone) {
+        if (now < job.startTick + params_.dmaStartupTicks)
+            return;
+        job.startupDone = true;
+    }
+
+    if (job.fetched >= job.length && job.outstanding == 0) {
+        // All payload fetched: transmit.
+        std::vector<std::uint8_t> payload = std::move(job.payload);
+        payload.resize(job.length);
+        dmaQueue_.pop_front();
+        finishMessage(std::move(payload), now, /*via_dma=*/true);
+        dmaMessages += 1;
+        return;
+    }
+
+    // Pipeline line reads: present the next one as soon as the bus
+    // port is free, up to the engine's outstanding-read limit.
+    if (job.issued >= job.length ||
+        job.outstanding >= params_.dmaMaxOutstanding ||
+        !bus_.masterIdle(masterId_)) {
+        return;
+    }
+
+    // Natural alignment: if the transfer starts mid-line, fall back
+    // to the largest aligned power of two at this address.
+    Addr addr = job.source + job.issued;
+    unsigned size = params_.dmaBurstBytes;
+    while (size > 1 && (addr % size != 0))
+        size /= 2;
+
+    job.issued += size;
+    ++job.outstanding;
+    bool accepted = bus_.requestRead(
+        masterId_, addr, size, /*strongly_ordered=*/false,
+        [this](Tick, const std::vector<std::uint8_t> &data) {
+            // Responses return in issue order, so appending is safe.
+            csb_assert(!dmaQueue_.empty(), "DMA response without a job");
+            DmaJob &current = dmaQueue_.front();
+            unsigned take = std::min<unsigned>(
+                static_cast<unsigned>(data.size()),
+                current.length - current.fetched);
+            current.payload.insert(current.payload.end(), data.begin(),
+                                   data.begin() + take);
+            current.fetched += take;
+            csb_assert(current.outstanding > 0, "DMA response underflow");
+            --current.outstanding;
+        });
+    csb_assert(accepted, "bus refused DMA read despite idle master");
+}
+
+bool
+NetworkInterface::idle() const
+{
+    return dmaQueue_.empty() && messagesInWire_ == 0;
+}
+
+} // namespace csb::io

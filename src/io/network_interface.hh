@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A network interface model in the style of the NIs the paper cites
+ * (Atoll, HP Medusa): a memory-mapped device with
+ *
+ *  - a PIO transmit window: uncached/combined stores append payload
+ *    bytes; a doorbell write finalizes the message;
+ *  - a descriptor register: a single doubleword store packs
+ *    {source address, length} and kicks a DMA transfer (Atoll-style);
+ *    a CSB line burst to the descriptor region pushes up to
+ *    line/8 descriptors atomically (zero doublewords are padding);
+ *  - a DMA engine that fetches payload from main memory over the
+ *    system bus in line-sized reads;
+ *  - a serial wire with configurable bandwidth and latency delivering
+ *    packets to a receive log.
+ *
+ * Register map (offsets from the NI base address; each region sits in
+ * its own page so it can carry its own memory attribute):
+ *   [0x0000, 0x1000)  descriptor push region
+ *   [0x1000]          doorbell: value = message length in bytes
+ *   [0x2000, 0x3000)  PIO payload window
+ */
+
+#ifndef CSB_IO_NETWORK_INTERFACE_HH
+#define CSB_IO_NETWORK_INTERFACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/system_bus.hh"
+#include "mem/physical_memory.hh"
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace csb::io {
+
+/** Offsets within the NI's bus window. */
+struct NiMap
+{
+    static constexpr Addr descBase = 0x0000;
+    static constexpr Addr descSize = 0x1000;
+    static constexpr Addr doorbell = 0x1000;
+    static constexpr Addr pioBase = 0x2000;
+    static constexpr Addr pioSize = 0x1000;
+    static constexpr Addr windowSize = 0x4000;
+};
+
+/** Pack an Atoll-style DMA descriptor into one doubleword. */
+constexpr std::uint64_t
+packDescriptor(Addr source, std::uint16_t length)
+{
+    return (source << 16) | length;
+}
+
+/** A message delivered by the wire. */
+struct DeliveredMessage
+{
+    std::vector<std::uint8_t> payload;
+    /** Tick the message entered the wire (transmit complete at NI). */
+    Tick sendTick = 0;
+    /** Tick the last byte arrived at the far end. */
+    Tick deliverTick = 0;
+    /** True when the payload was fetched by DMA, false for PIO. */
+    bool viaDma = false;
+};
+
+/** NI configuration. */
+struct NetworkInterfaceParams
+{
+    /** Wire bandwidth: CPU ticks per payload byte. */
+    double wireTicksPerByte = 0.5;
+    /** Wire propagation latency in CPU ticks. */
+    Tick wireLatency = 200;
+    /** Fixed DMA engine startup cost per descriptor, CPU ticks. */
+    Tick dmaStartupTicks = 60;
+    /** Burst size of DMA line reads. */
+    unsigned dmaBurstBytes = 64;
+    /** Pipelined outstanding DMA reads (real engines prefetch). */
+    unsigned dmaMaxOutstanding = 4;
+    /** Latency of NI register reads. */
+    Tick readLatency = 12;
+};
+
+/**
+ * The network interface: a bus target (register window) plus a bus
+ * master (DMA engine) plus a wire.
+ */
+class NetworkInterface : public bus::BusTarget,
+                         public sim::Clocked,
+                         public sim::stats::StatGroup
+{
+  public:
+    NetworkInterface(sim::Simulator &simulator, bus::SystemBus &bus,
+                     Addr base, const NetworkInterfaceParams &params,
+                     std::string name = "ni",
+                     sim::stats::StatGroup *stat_parent = nullptr);
+
+    const std::string &targetName() const override { return name_; }
+
+    void write(const bus::BusTransaction &txn, Tick now) override;
+
+    Tick read(const bus::BusTransaction &txn, Tick now,
+              std::vector<std::uint8_t> &data) override;
+
+    void tick() override;
+
+    /** Messages fully delivered at the far end of the wire. */
+    const std::vector<DeliveredMessage> &delivered() const
+    {
+        return delivered_;
+    }
+
+    /** @return true when no DMA or wire activity is pending. */
+    bool idle() const;
+
+    Addr base() const { return base_; }
+
+    sim::stats::Scalar pioMessages;
+    sim::stats::Scalar dmaMessages;
+    sim::stats::Scalar bytesSent;
+    sim::stats::Scalar descriptorsPushed;
+
+  private:
+    struct DmaJob
+    {
+        Addr source = 0;
+        unsigned length = 0;
+        /** Bytes whose reads have been issued to the bus. */
+        unsigned issued = 0;
+        /** Bytes received back (responses return in order). */
+        unsigned fetched = 0;
+        /** Reads issued but not yet answered. */
+        unsigned outstanding = 0;
+        std::vector<std::uint8_t> payload;
+        Tick startTick = 0;
+        bool startupDone = false;
+    };
+
+    void pushDescriptor(std::uint64_t desc, Tick now);
+    void finishMessage(std::vector<std::uint8_t> payload, Tick now,
+                       bool via_dma);
+
+    sim::Simulator &sim_;
+    bus::SystemBus &bus_;
+    Addr base_;
+    NetworkInterfaceParams params_;
+    std::string name_;
+    MasterId masterId_;
+
+    std::vector<std::uint8_t> pioBuffer_;
+    std::deque<DmaJob> dmaQueue_;
+    /** Wire is busy until this tick. */
+    Tick wireFreeAt_ = 0;
+    unsigned messagesInWire_ = 0;
+    std::vector<DeliveredMessage> delivered_;
+};
+
+} // namespace csb::io
+
+#endif // CSB_IO_NETWORK_INTERFACE_HH

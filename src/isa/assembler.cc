@@ -1,0 +1,521 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace csb::isa {
+
+namespace {
+
+/** A parsed operand. */
+struct Operand
+{
+    enum class Kind { Reg, Imm, Mem, Symbol };
+
+    Kind kind = Kind::Imm;
+    RegId reg = noReg;       // Reg
+    std::int64_t imm = 0;    // Imm / Mem offset
+    RegId base = noReg;      // Mem base
+    std::string symbol;      // Symbol (label or .equ name)
+};
+
+/** Parser state for one assemble() call. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : source_(source)
+    {}
+
+    Program run();
+
+  private:
+    struct LabelInfo
+    {
+        Label label;
+        bool bound = false;
+    };
+
+    [[noreturn]] void
+    error(const std::string &message) const
+    {
+        csb_fatal("asm line ", lineNo_, ": ", message);
+    }
+
+    static std::string trim(const std::string &text);
+    static bool isIdentifier(const std::string &text);
+
+    std::int64_t parseNumber(const std::string &text) const;
+    RegId parseRegister(const std::string &text) const;
+    Operand parseOperand(const std::string &text) const;
+    std::vector<Operand> parseOperands(const std::string &text) const;
+
+    std::int64_t immOf(const Operand &operand) const;
+    RegId regOf(const Operand &operand) const;
+    Label labelOf(const Operand &operand);
+
+    void handleDirective(const std::string &line);
+    void handleInstruction(const std::string &mnemonic,
+                           const std::vector<Operand> &ops);
+
+    const std::string &source_;
+    Program program_;
+    std::map<std::string, LabelInfo> labels_;
+    std::map<std::string, std::int64_t> constants_;
+    unsigned lineNo_ = 0;
+};
+
+std::string
+Parser::trim(const std::string &text)
+{
+    std::size_t first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    std::size_t last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+bool
+Parser::isIdentifier(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(text[0])) &&
+        text[0] != '_' && text[0] != '.') {
+        return false;
+    }
+    for (char ch : text) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+            ch != '.') {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::int64_t
+Parser::parseNumber(const std::string &text) const
+{
+    std::string body = text;
+    bool negative = false;
+    if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+        negative = body[0] == '-';
+        body = body.substr(1);
+    }
+    if (body.empty())
+        error("malformed number '" + text + "'");
+    std::int64_t value = 0;
+    try {
+        std::size_t used = 0;
+        value = static_cast<std::int64_t>(std::stoull(body, &used, 0));
+        if (used != body.size())
+            error("trailing characters in number '" + text + "'");
+    } catch (const std::exception &) {
+        error("malformed number '" + text + "'");
+    }
+    return negative ? -value : value;
+}
+
+RegId
+Parser::parseRegister(const std::string &text) const
+{
+    if (text.size() < 3 || text[0] != '%')
+        error("expected a register, got '" + text + "'");
+    char file = text[1];
+    std::int64_t index = parseNumber(text.substr(2));
+    if (index < 0 ||
+        index >= (file == 'f' ? numFpRegs : numIntRegs)) {
+        error("register index out of range in '" + text + "'");
+    }
+    if (file == 'r')
+        return ir(static_cast<int>(index));
+    if (file == 'f')
+        return fr(static_cast<int>(index));
+    error("unknown register file in '" + text + "'");
+}
+
+Operand
+Parser::parseOperand(const std::string &text) const
+{
+    Operand operand;
+    std::string body = trim(text);
+    if (body.empty())
+        error("empty operand");
+
+    if (body.front() == '[') {
+        if (body.back() != ']')
+            error("unterminated memory operand '" + body + "'");
+        std::string inner = trim(body.substr(1, body.size() - 2));
+        operand.kind = Operand::Kind::Mem;
+        std::size_t sign = inner.find_first_of("+-", 1);
+        if (sign == std::string::npos) {
+            operand.base = parseRegister(inner);
+            operand.imm = 0;
+        } else {
+            operand.base = parseRegister(trim(inner.substr(0, sign)));
+            std::string offset = trim(inner.substr(sign));
+            // "+ 8" / "-8" both parse through parseNumber.
+            operand.imm = parseNumber(offset);
+        }
+        return operand;
+    }
+    if (body.front() == '%') {
+        operand.kind = Operand::Kind::Reg;
+        operand.reg = parseRegister(body);
+        return operand;
+    }
+    if (std::isdigit(static_cast<unsigned char>(body.front())) ||
+        body.front() == '-' || body.front() == '+') {
+        operand.kind = Operand::Kind::Imm;
+        operand.imm = parseNumber(body);
+        return operand;
+    }
+    if (isIdentifier(body)) {
+        operand.kind = Operand::Kind::Symbol;
+        operand.symbol = body;
+        return operand;
+    }
+    error("cannot parse operand '" + body + "'");
+}
+
+std::vector<Operand>
+Parser::parseOperands(const std::string &text) const
+{
+    std::vector<Operand> operands;
+    std::string rest = trim(text);
+    while (!rest.empty()) {
+        // Memory operands contain no commas, so a plain split works.
+        std::size_t comma = rest.find(',');
+        std::string piece =
+            comma == std::string::npos ? rest : rest.substr(0, comma);
+        operands.push_back(parseOperand(piece));
+        if (comma == std::string::npos)
+            break;
+        rest = trim(rest.substr(comma + 1));
+        if (rest.empty())
+            error("trailing comma");
+    }
+    return operands;
+}
+
+std::int64_t
+Parser::immOf(const Operand &operand) const
+{
+    if (operand.kind == Operand::Kind::Imm)
+        return operand.imm;
+    if (operand.kind == Operand::Kind::Symbol) {
+        auto it = constants_.find(operand.symbol);
+        if (it == constants_.end())
+            error("unknown constant '" + operand.symbol + "'");
+        return it->second;
+    }
+    error("expected an immediate");
+}
+
+RegId
+Parser::regOf(const Operand &operand) const
+{
+    if (operand.kind != Operand::Kind::Reg)
+        error("expected a register");
+    return operand.reg;
+}
+
+Label
+Parser::labelOf(const Operand &operand)
+{
+    if (operand.kind != Operand::Kind::Symbol)
+        error("expected a label");
+    auto [it, inserted] =
+        labels_.try_emplace(operand.symbol, LabelInfo{});
+    if (inserted)
+        it->second.label = program_.newLabel();
+    return it->second.label;
+}
+
+void
+Parser::handleDirective(const std::string &line)
+{
+    std::istringstream stream(line);
+    std::string directive;
+    stream >> directive;
+    if (directive == ".equ") {
+        std::string name;
+        std::string value;
+        stream >> name >> value;
+        if (name.empty() || value.empty() || !isIdentifier(name))
+            error("usage: .equ NAME value");
+        constants_[name] = parseNumber(value);
+        return;
+    }
+    error("unknown directive '" + directive + "'");
+}
+
+void
+Parser::handleInstruction(const std::string &mnemonic,
+                          const std::vector<Operand> &ops)
+{
+    auto need = [&](std::size_t n) {
+        if (ops.size() != n) {
+            error(mnemonic + " expects " + std::to_string(n) +
+                  " operand(s), got " + std::to_string(ops.size()));
+        }
+    };
+
+    // Register-register ops with an optional immediate form.
+    struct AluEntry
+    {
+        const char *name;
+        Opcode rr;
+        Opcode ri; // Nop = no immediate form
+    };
+    static const AluEntry alu_table[] = {
+        {"add", Opcode::Add, Opcode::Addi},
+        {"and", Opcode::And, Opcode::Andi},
+        {"or", Opcode::Or, Opcode::Ori},
+        {"xor", Opcode::Xor, Opcode::Xori},
+        {"sll", Opcode::Sll, Opcode::Slli},
+        {"srl", Opcode::Srl, Opcode::Srli},
+        {"slt", Opcode::Slt, Opcode::Slti},
+        {"sub", Opcode::Sub, Opcode::Nop},
+        {"sra", Opcode::Sra, Opcode::Nop},
+        {"mul", Opcode::Mul, Opcode::Nop},
+        {"sltu", Opcode::Sltu, Opcode::Nop},
+        {"addi", Opcode::Nop, Opcode::Addi},
+        {"andi", Opcode::Nop, Opcode::Andi},
+        {"ori", Opcode::Nop, Opcode::Ori},
+        {"xori", Opcode::Nop, Opcode::Xori},
+        {"slli", Opcode::Nop, Opcode::Slli},
+        {"srli", Opcode::Nop, Opcode::Srli},
+        {"slti", Opcode::Nop, Opcode::Slti},
+    };
+    for (const AluEntry &entry : alu_table) {
+        if (mnemonic != entry.name)
+            continue;
+        need(3);
+        Instruction inst;
+        inst.rd = regOf(ops[0]);
+        inst.rs1 = regOf(ops[1]);
+        if (ops[2].kind == Operand::Kind::Reg) {
+            if (entry.rr == Opcode::Nop)
+                error(mnemonic + " requires an immediate last operand");
+            inst.op = entry.rr;
+            inst.rs2 = regOf(ops[2]);
+        } else {
+            if (entry.ri == Opcode::Nop)
+                error(mnemonic + " has no immediate form");
+            inst.op = entry.ri;
+            inst.imm = immOf(ops[2]);
+        }
+        program_.add(inst);
+        return;
+    }
+
+    static const std::map<std::string, Opcode> fp_rrr = {
+        {"fadd", Opcode::Fadd},
+        {"fsub", Opcode::Fsub},
+        {"fmul", Opcode::Fmul},
+    };
+    if (auto it = fp_rrr.find(mnemonic); it != fp_rrr.end()) {
+        need(3);
+        Instruction inst;
+        inst.op = it->second;
+        inst.rd = regOf(ops[0]);
+        inst.rs1 = regOf(ops[1]);
+        inst.rs2 = regOf(ops[2]);
+        program_.add(inst);
+        return;
+    }
+    static const std::map<std::string, Opcode> fp_rr = {
+        {"fmov", Opcode::Fmov},
+        {"fitod", Opcode::Fitod},
+        {"mvi2f", Opcode::Mvi2f},
+        {"mvf2i", Opcode::Mvf2i},
+    };
+    if (auto it = fp_rr.find(mnemonic); it != fp_rr.end()) {
+        need(2);
+        Instruction inst;
+        inst.op = it->second;
+        inst.rd = regOf(ops[0]);
+        inst.rs1 = regOf(ops[1]);
+        program_.add(inst);
+        return;
+    }
+
+    if (mnemonic == "li") {
+        need(2);
+        program_.li(regOf(ops[0]), immOf(ops[1]));
+        return;
+    }
+
+    static const std::map<std::string, Opcode> loads = {
+        {"ldb", Opcode::Ldb},
+        {"ldw", Opcode::Ldw},
+        {"ldd", Opcode::Ldd},
+        {"ldf", Opcode::Ldf},
+    };
+    if (auto it = loads.find(mnemonic); it != loads.end()) {
+        need(2);
+        if (ops[1].kind != Operand::Kind::Mem)
+            error(mnemonic + " expects a memory operand");
+        Instruction inst;
+        inst.op = it->second;
+        inst.rd = regOf(ops[0]);
+        inst.rs1 = ops[1].base;
+        inst.imm = ops[1].imm;
+        program_.add(inst);
+        return;
+    }
+
+    static const std::map<std::string, Opcode> stores = {
+        {"stb", Opcode::Stb},
+        {"stw", Opcode::Stw},
+        {"std", Opcode::Std},
+        {"stf", Opcode::Stf},
+    };
+    if (auto it = stores.find(mnemonic); it != stores.end()) {
+        need(2);
+        if (ops[1].kind != Operand::Kind::Mem)
+            error(mnemonic + " expects a memory operand");
+        Instruction inst;
+        inst.op = it->second;
+        inst.rs2 = regOf(ops[0]);
+        inst.rs1 = ops[1].base;
+        inst.imm = ops[1].imm;
+        program_.add(inst);
+        return;
+    }
+
+    if (mnemonic == "swap") {
+        need(2);
+        if (ops[0].kind != Operand::Kind::Mem)
+            error("swap expects [mem], %reg");
+        Instruction inst;
+        inst.op = Opcode::Swap;
+        inst.rd = regOf(ops[1]);
+        inst.rs1 = ops[0].base;
+        inst.imm = ops[0].imm;
+        program_.add(inst);
+        return;
+    }
+
+    static const std::map<std::string, Opcode> branches = {
+        {"beq", Opcode::Beq}, {"bne", Opcode::Bne},
+        {"ble", Opcode::Ble}, {"bgt", Opcode::Bgt},
+        {"blt", Opcode::Blt}, {"bge", Opcode::Bge},
+    };
+    if (auto it = branches.find(mnemonic); it != branches.end()) {
+        need(3);
+        Instruction inst;
+        inst.op = it->second;
+        inst.rs1 = regOf(ops[0]);
+        inst.rs2 = regOf(ops[1]);
+        Label label = labelOf(ops[2]);
+        inst.labelId = label.id;
+        program_.add(inst);
+        return;
+    }
+    if (mnemonic == "jmp") {
+        need(1);
+        Instruction inst;
+        inst.op = Opcode::Jmp;
+        Label label = labelOf(ops[0]);
+        inst.labelId = label.id;
+        program_.add(inst);
+        return;
+    }
+
+    if (mnemonic == "membar") {
+        need(0);
+        program_.membar();
+        return;
+    }
+    if (mnemonic == "nop") {
+        need(0);
+        program_.nop();
+        return;
+    }
+    if (mnemonic == "halt") {
+        need(0);
+        program_.halt();
+        return;
+    }
+    if (mnemonic == "mark") {
+        need(1);
+        program_.mark(immOf(ops[0]));
+        return;
+    }
+
+    error("unknown mnemonic '" + mnemonic + "'");
+}
+
+Program
+Parser::run()
+{
+    std::istringstream stream(source_);
+    std::string raw;
+    while (std::getline(stream, raw)) {
+        ++lineNo_;
+        // Strip comments.
+        std::size_t comment = raw.find_first_of(";#");
+        std::string line =
+            trim(comment == std::string::npos ? raw
+                                              : raw.substr(0, comment));
+        if (line.empty())
+            continue;
+        if (line[0] == '.') {
+            handleDirective(line);
+            continue;
+        }
+        // Leading labels (possibly several).
+        std::size_t colon;
+        while ((colon = line.find(':')) != std::string::npos) {
+            std::string name = trim(line.substr(0, colon));
+            if (!isIdentifier(name))
+                break; // not a label -- leave for operand parsing
+            auto [it, inserted] =
+                labels_.try_emplace(name, LabelInfo{});
+            if (inserted)
+                it->second.label = program_.newLabel();
+            if (it->second.bound)
+                error("label '" + name + "' defined twice");
+            program_.bind(it->second.label);
+            it->second.bound = true;
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        std::size_t space = line.find_first_of(" \t");
+        std::string mnemonic =
+            space == std::string::npos ? line : line.substr(0, space);
+        std::string operand_text =
+            space == std::string::npos ? "" : line.substr(space + 1);
+        for (char &ch : mnemonic)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        handleInstruction(mnemonic, parseOperands(operand_text));
+    }
+
+    for (const auto &[name, info] : labels_) {
+        if (!info.bound)
+            csb_fatal("asm: label '", name, "' referenced but never "
+                      "defined");
+    }
+    program_.finalize();
+    return std::move(program_);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    return Parser(source).run();
+}
+
+} // namespace csb::isa

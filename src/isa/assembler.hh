@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text assembler for the mini-ISA.
+ *
+ * Accepts a SPARC-flavoured assembly dialect matching the disassembler
+ * output, e.g.:
+ *
+ *     ; send one line through the CSB
+ *             li   %r1, 0x22000000
+ *     retry:  li   %r9, 8
+ *             std  %r2, [%r1+0]
+ *             std  %r3, [%r1+8]
+ *             swap [%r1+0], %r9
+ *             li   %r10, 8
+ *             bne  %r9, %r10, retry
+ *             halt
+ *
+ * Syntax:
+ *  - one instruction per line; `;` or `#` start a comment
+ *  - labels are identifiers followed by `:` (may share a line with an
+ *    instruction)
+ *  - registers are %r0..%r31 and %f0..%f31
+ *  - immediates are decimal or 0x-hex, optionally negative
+ *  - memory operands are [%rN+imm] or [%rN] or [%rN-imm]
+ *  - `.equ NAME value` defines a constant usable as an immediate
+ *
+ * Errors throw csb::FatalError with a line number.
+ */
+
+#ifndef CSB_ISA_ASSEMBLER_HH
+#define CSB_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "program.hh"
+
+namespace csb::isa {
+
+/**
+ * Assemble @p source into a finalized Program.
+ * @throws csb::FatalError on any syntax or semantic error
+ */
+Program assemble(const std::string &source);
+
+} // namespace csb::isa
+
+#endif // CSB_ISA_ASSEMBLER_HH

@@ -1,0 +1,113 @@
+#include "program.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace csb::isa {
+
+Label
+Program::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return Label{static_cast<std::int32_t>(labelTargets_.size() - 1)};
+}
+
+void
+Program::bind(Label label)
+{
+    csb_assert(label.valid(), "binding an invalid label");
+    csb_assert(labelTargets_[label.id] == -1, "label bound twice");
+    labelTargets_[label.id] = static_cast<std::int64_t>(code_.size());
+}
+
+std::size_t
+Program::add(const Instruction &inst)
+{
+    csb_assert(!finalized_, "appending to a finalized program");
+    code_.push_back(inst);
+    return code_.size() - 1;
+}
+
+void
+Program::rrr(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    add(inst);
+}
+
+void
+Program::rri(Opcode op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    add(inst);
+}
+
+void
+Program::mem(Opcode op, RegId rd, RegId data, RegId base, std::int64_t off)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = base;
+    inst.rs2 = data;
+    inst.imm = off;
+    add(inst);
+}
+
+void
+Program::branch(Opcode op, RegId a, RegId b, Label l)
+{
+    csb_assert(l.valid(), "branch to an invalid label");
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = a;
+    inst.rs2 = b;
+    inst.labelId = l.id;
+    add(inst);
+}
+
+void
+Program::finalize()
+{
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+        Instruction &inst = code_[pc];
+        if (inst.instClass() == InstClass::Branch) {
+            csb_assert(inst.labelId >= 0, "branch without a label at ", pc);
+            std::int64_t target = labelTargets_.at(inst.labelId);
+            if (target < 0) {
+                csb_fatal("program uses unbound label ", inst.labelId,
+                          " at pc ", pc);
+            }
+            inst.target = target;
+        }
+        if (inst.instClass() == InstClass::Store && !inst.rs2.valid())
+            csb_fatal("store without a data register at pc ", pc);
+        if (isLoad(inst.op) && !inst.rd.valid())
+            csb_fatal("load without a destination register at pc ", pc);
+    }
+    if (code_.empty() || code_.back().op != Opcode::Halt) {
+        csb_warn("program does not end in halt; appending one");
+        code_.push_back({Opcode::Halt});
+    }
+    finalized_ = true;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < code_.size(); ++pc)
+        os << pc << ":\t" << code_[pc].toString() << "\n";
+    return os.str();
+}
+
+} // namespace csb::isa

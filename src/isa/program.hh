@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Programmatic assembler for the mini-ISA.
+ *
+ * Microbenchmark kernels are built with fluent helper methods, e.g.:
+ *
+ *   Program p;
+ *   Label retry = p.newLabel();
+ *   p.li(ir(1), bufAddr);
+ *   p.bind(retry);
+ *   p.li(ir(4), 8);             // expected hit count
+ *   p.std_(ir(2), ir(1), 0);    // combining stores, any order
+ *   ...
+ *   p.swap(ir(4), ir(1), 0);    // conditional flush
+ *   p.li(ir(5), 8);
+ *   p.bne(ir(4), ir(5), retry); // retry on failure
+ *   p.halt();
+ *   p.finalize();
+ */
+
+#ifndef CSB_ISA_PROGRAM_HH
+#define CSB_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instruction.hh"
+
+namespace csb::isa {
+
+/** An opaque forward-referencable code label. */
+struct Label
+{
+    std::int32_t id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/**
+ * An assembled instruction sequence.  PCs are instruction indices.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Allocate a label that can be branched to before it is bound. */
+    Label newLabel();
+
+    /** Bind @p label to the current end of the program. */
+    void bind(Label label);
+
+    /** Append a raw instruction. */
+    std::size_t add(const Instruction &inst);
+
+    // --- Convenience emitters (names follow the mnemonics; a trailing
+    // --- underscore avoids keyword clashes).
+
+    void nop() { add({Opcode::Nop}); }
+    void halt() { add({Opcode::Halt}); }
+
+    /** Record a host-visible timestamp with identifier @p id. */
+    void mark(std::int64_t id) { add({Opcode::Mark, noReg, noReg, noReg, id}); }
+
+    void add_(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Add, rd, rs1, rs2); }
+    void sub(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Sub, rd, rs1, rs2); }
+    void and_(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::And, rd, rs1, rs2); }
+    void or_(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Or, rd, rs1, rs2); }
+    void xor_(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Xor, rd, rs1, rs2); }
+    void sll(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Sll, rd, rs1, rs2); }
+    void srl(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Srl, rd, rs1, rs2); }
+    void mul(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Mul, rd, rs1, rs2); }
+    void slt(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Slt, rd, rs1, rs2); }
+
+    void addi(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Addi, rd, rs1, imm); }
+    void andi(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Andi, rd, rs1, imm); }
+    void ori(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Ori, rd, rs1, imm); }
+    void xori(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Xori, rd, rs1, imm); }
+    void slli(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Slli, rd, rs1, imm); }
+    void srli(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Srli, rd, rs1, imm); }
+    void slti(RegId rd, RegId rs1, std::int64_t imm) { rri(Opcode::Slti, rd, rs1, imm); }
+
+    /** rd = 64-bit immediate. */
+    void li(RegId rd, std::int64_t imm) { rri(Opcode::Li, rd, noReg, imm); }
+
+    void fadd(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Fadd, rd, rs1, rs2); }
+    void fsub(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Fsub, rd, rs1, rs2); }
+    void fmul(RegId rd, RegId rs1, RegId rs2) { rrr(Opcode::Fmul, rd, rs1, rs2); }
+    void fmov(RegId rd, RegId rs1) { rrr(Opcode::Fmov, rd, rs1, noReg); }
+    void fitod(RegId fd, RegId fs1) { rrr(Opcode::Fitod, fd, fs1, noReg); }
+    void mvi2f(RegId fd, RegId rs1) { rrr(Opcode::Mvi2f, fd, rs1, noReg); }
+    void mvf2i(RegId rd, RegId fs1) { rrr(Opcode::Mvf2i, rd, fs1, noReg); }
+
+    void ldb(RegId rd, RegId base, std::int64_t off) { mem(Opcode::Ldb, rd, noReg, base, off); }
+    void ldw(RegId rd, RegId base, std::int64_t off) { mem(Opcode::Ldw, rd, noReg, base, off); }
+    void ldd(RegId rd, RegId base, std::int64_t off) { mem(Opcode::Ldd, rd, noReg, base, off); }
+    void ldf(RegId fd, RegId base, std::int64_t off) { mem(Opcode::Ldf, fd, noReg, base, off); }
+
+    void stb(RegId rs, RegId base, std::int64_t off) { mem(Opcode::Stb, noReg, rs, base, off); }
+    void stw(RegId rs, RegId base, std::int64_t off) { mem(Opcode::Stw, noReg, rs, base, off); }
+    void std_(RegId rs, RegId base, std::int64_t off) { mem(Opcode::Std, noReg, rs, base, off); }
+    void stf(RegId fs, RegId base, std::int64_t off) { mem(Opcode::Stf, noReg, fs, base, off); }
+
+    /** Atomic swap: rd <-> mem[base+off] (conditional flush in CSB space). */
+    void swap(RegId rd, RegId base, std::int64_t off) { mem(Opcode::Swap, rd, noReg, base, off); }
+
+    void membar() { add({Opcode::Membar}); }
+
+    void beq(RegId a, RegId b, Label l) { branch(Opcode::Beq, a, b, l); }
+    void bne(RegId a, RegId b, Label l) { branch(Opcode::Bne, a, b, l); }
+    void ble(RegId a, RegId b, Label l) { branch(Opcode::Ble, a, b, l); }
+    void bgt(RegId a, RegId b, Label l) { branch(Opcode::Bgt, a, b, l); }
+    void blt(RegId a, RegId b, Label l) { branch(Opcode::Blt, a, b, l); }
+    void bge(RegId a, RegId b, Label l) { branch(Opcode::Bge, a, b, l); }
+    void jmp(Label l) { branch(Opcode::Jmp, noReg, noReg, l); }
+
+    /**
+     * Resolve all labels.  Must be called before execution; throws
+     * FatalError on unbound labels or ill-formed instructions.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    const std::vector<Instruction> &code() const { return code_; }
+    std::size_t size() const { return code_.size(); }
+
+    const Instruction &
+    at(std::size_t pc) const
+    {
+        return code_.at(pc);
+    }
+
+    /** Multi-line disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    void rrr(Opcode op, RegId rd, RegId rs1, RegId rs2);
+    void rri(Opcode op, RegId rd, RegId rs1, std::int64_t imm);
+    void mem(Opcode op, RegId rd, RegId data, RegId base, std::int64_t off);
+    void branch(Opcode op, RegId a, RegId b, Label l);
+
+    std::vector<Instruction> code_;
+    std::vector<std::int64_t> labelTargets_;
+    bool finalized_ = false;
+};
+
+} // namespace csb::isa
+
+#endif // CSB_ISA_PROGRAM_HH

@@ -1,0 +1,199 @@
+#include "cache.hh"
+
+#include "sim/logging.hh"
+
+namespace csb::mem {
+
+void
+CacheParams::validate() const
+{
+    if (!isPowerOf2(lineBytes) || lineBytes < 8)
+        csb_fatal("cache line must be a power of two >= 8, got ",
+                  lineBytes);
+    if (assoc == 0 || sizeBytes % (assoc * lineBytes) != 0)
+        csb_fatal("cache size ", sizeBytes, " not divisible by assoc*line");
+}
+
+Cache::Cache(const CacheParams &params, std::string name,
+             sim::stats::StatGroup *stat_parent)
+    : sim::stats::StatGroup(std::move(name), stat_parent),
+      hits(this, "hits", "cache hits"),
+      misses(this, "misses", "cache misses"),
+      writebacks(this, "writebacks", "dirty lines evicted"),
+      params_(params)
+{
+    params_.validate();
+    numSets_ = params_.sizeBytes / (params_.assoc * params_.lineBytes);
+    lines_.resize(numSets_ * params_.assoc);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.lineBytes) % numSets_);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr tag = addr / params_.lineBytes;
+    unsigned set = setIndex(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    ++useClock_;
+    AccessResult result;
+
+    if (Line *line = findLine(addr)) {
+        line->lastUse = useClock_;
+        line->dirty = line->dirty || is_write;
+        result.hit = true;
+        ++hits;
+        return result;
+    }
+
+    ++misses;
+
+    // Fill over the LRU way.
+    Addr tag = addr / params_.lineBytes;
+    unsigned set = setIndex(addr);
+    Line *victim = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writebackAddr = victim->tag * params_.lineBytes;
+        ++writebacks;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->valid = false;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheParams &l1, const CacheParams &l2,
+                               Tick mem_latency, std::string name,
+                               sim::stats::StatGroup *stat_parent)
+    : sim::stats::StatGroup(std::move(name), stat_parent),
+      l1_(l1, "l1", this), l2_(l2, "l2", this), memLatency_(mem_latency)
+{
+}
+
+Tick
+CacheHierarchy::accessLatency(Addr addr, bool is_write)
+{
+    Tick latency = l1_.params().hitLatency;
+    Cache::AccessResult r1 = l1_.access(addr, is_write);
+    if (r1.hit)
+        return latency;
+
+    // The L1 is write-back; a dirty victim moves into the L2.
+    if (r1.writeback)
+        l2_.access(r1.writebackAddr, /*is_write=*/true);
+
+    latency += l2_.params().hitLatency;
+    Cache::AccessResult r2 = l2_.access(addr, /*is_write=*/false);
+    if (r2.hit)
+        return latency;
+
+    if (r2.writeback && lineWriteback_)
+        lineWriteback_(roundDown(r2.writebackAddr, l2_.params().lineBytes));
+
+    return latency + memLatency_;
+}
+
+void
+CacheHierarchy::access(Addr addr, bool is_write, Tick now,
+                       const std::function<void(Tick)> &done)
+{
+    csb_assert(deferredCall, "CacheHierarchy::access needs deferredCall");
+
+    Tick latency = l1_.params().hitLatency;
+    Cache::AccessResult r1 = l1_.access(addr, is_write);
+    if (r1.hit) {
+        deferredCall(now + latency, [done, t = now + latency] { done(t); });
+        return;
+    }
+    if (r1.writeback)
+        l2_.access(r1.writebackAddr, /*is_write=*/true);
+
+    latency += l2_.params().hitLatency;
+    Cache::AccessResult r2 = l2_.access(addr, /*is_write=*/false);
+    if (r2.hit) {
+        deferredCall(now + latency, [done, t = now + latency] { done(t); });
+        return;
+    }
+    if (r2.writeback && lineWriteback_)
+        lineWriteback_(roundDown(r2.writebackAddr, l2_.params().lineBytes));
+
+    if (lineFetch_) {
+        // Route the fill over the bus: completion when the line read
+        // returns, plus the lookup latencies already charged.
+        Addr line_addr = roundDown(addr, l2_.params().lineBytes);
+        Tick lookup_done = now + latency;
+        lineFetch_(line_addr, [done, lookup_done](Tick fill_done) {
+            done(fill_done > lookup_done ? fill_done : lookup_done);
+        });
+    } else {
+        Tick t = now + latency + memLatency_;
+        deferredCall(t, [done, t] { done(t); });
+    }
+}
+
+void
+CacheHierarchy::touch(Addr addr)
+{
+    l2_.access(addr, /*is_write=*/false);
+    l1_.access(addr, /*is_write=*/false);
+}
+
+void
+CacheHierarchy::evict(Addr addr)
+{
+    l1_.invalidate(addr);
+    l2_.invalidate(addr);
+}
+
+} // namespace csb::mem

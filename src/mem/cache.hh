@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Write-back caches and the two-level hierarchy used by the core.
+ *
+ * The paper's experiments need caches for exactly one reason: the
+ * lock variable of the locking microbenchmark either hits in the L1
+ * or misses all the way to memory (~100 CPU cycles).  The model is a
+ * tag-state-plus-latency cache: tags, LRU and dirty bits are tracked
+ * precisely, while a miss costs the level's fill latency.  Misses may
+ * optionally be routed over the system bus as line reads so that they
+ * compete with uncached traffic.
+ */
+
+#ifndef CSB_MEM_CACHE_HH
+#define CSB_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace csb::mem {
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    unsigned sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    /** Latency of a hit in this level, in CPU ticks. */
+    Tick hitLatency = 1;
+
+    void validate() const;
+};
+
+/**
+ * One cache level: tags + replacement state, no data (the functional
+ * image lives in PhysicalMemory).
+ */
+class Cache : public sim::stats::StatGroup
+{
+  public:
+    Cache(const CacheParams &params, std::string name,
+          sim::stats::StatGroup *stat_parent = nullptr);
+
+    /** Result of a lookup+fill. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** Valid when a dirty victim was evicted by the fill. */
+        bool writeback = false;
+        Addr writebackAddr = 0;
+    };
+
+    /**
+     * Look up @p addr; on a miss, allocate (filling over LRU).
+     * @param is_write marks the line dirty
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the line containing @p addr (if present). */
+    void invalidate(Addr addr);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    const CacheParams &params() const { return params_; }
+
+    sim::stats::Scalar hits;
+    sim::stats::Scalar misses;
+    sim::stats::Scalar writebacks;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned numSets_ = 0;
+    CacheParams params_;
+    std::vector<Line> lines_; // sets_ x assoc, row-major
+    std::uint64_t useClock_ = 0;
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    unsigned setIndex(Addr addr) const;
+};
+
+/**
+ * L1 + L2 hierarchy with asynchronous completion.
+ *
+ * Miss handling beyond the L2 goes through a pluggable line-fetch
+ * function so the owning System can route it over the system bus; by
+ * default a fixed memory latency is charged.
+ */
+class CacheHierarchy : public sim::stats::StatGroup
+{
+  public:
+    /** fetch(line_addr, done): read a line; call done when complete. */
+    using LineFetch =
+        std::function<void(Addr line_addr, std::function<void(Tick)> done)>;
+    /** writeback(line_addr): fire-and-forget dirty eviction. */
+    using LineWriteback = std::function<void(Addr line_addr)>;
+
+    CacheHierarchy(const CacheParams &l1, const CacheParams &l2,
+                   Tick mem_latency, std::string name = "caches",
+                   sim::stats::StatGroup *stat_parent = nullptr);
+
+    /**
+     * Access the hierarchy.
+     * @param addr     byte address (access must not cross an L1 line)
+     * @param is_write marks lines dirty on the way
+     * @param now      current tick
+     * @param done     invoked with the completion tick
+     */
+    void access(Addr addr, bool is_write, Tick now,
+                const std::function<void(Tick)> &done);
+
+    /**
+     * Pure latency variant used by callers that schedule their own
+     * events: @return total latency in ticks for this access.
+     * Only usable when no bus-routed fetch is installed.
+     */
+    Tick accessLatency(Addr addr, bool is_write);
+
+    /** Route L2 misses through @p fetch (e.g. over the system bus). */
+    void setLineFetch(LineFetch fetch) { lineFetch_ = std::move(fetch); }
+
+    /** Route dirty evictions through @p writeback. */
+    void
+    setLineWriteback(LineWriteback writeback)
+    {
+        lineWriteback_ = std::move(writeback);
+    }
+
+    /** Warm both levels so a subsequent access to @p addr hits in L1. */
+    void touch(Addr addr);
+
+    /** Evict @p addr from both levels (forces a miss). */
+    void evict(Addr addr);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Tick memLatency() const { return memLatency_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    Tick memLatency_;
+    LineFetch lineFetch_;
+    LineWriteback lineWriteback_;
+    /** Pending completions are scheduled via this hook (set by System). */
+  public:
+    /** Scheduler used for delayed completions; set by the System. */
+    std::function<void(Tick when, std::function<void()>)> deferredCall;
+};
+
+} // namespace csb::mem
+
+#endif // CSB_MEM_CACHE_HH

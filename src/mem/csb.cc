@@ -1,0 +1,202 @@
+#include "csb.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace csb::mem {
+
+void
+CsbParams::validate() const
+{
+    if (!isPowerOf2(lineBytes) || lineBytes < 16 ||
+        lineBytes > maxBlockBytes) {
+        csb_fatal("CSB line size must be a power of two in [16,",
+                  maxBlockBytes, "], got ", lineBytes);
+    }
+    if (numLineBuffers < 1 || numLineBuffers > 4)
+        csb_fatal("CSB supports 1..4 line buffers, got ", numLineBuffers);
+}
+
+ConditionalStoreBuffer::ConditionalStoreBuffer(
+    sim::Simulator &simulator, bus::SystemBus &bus, const CsbParams &params,
+    std::string name, sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(1), /*eval_order=*/-5),
+      sim::stats::StatGroup(name, stat_parent),
+      storesAccepted(this, "storesAccepted", "combining stores merged"),
+      conflictsOnStore(this, "conflictsOnStore",
+                       "stores that cleared a competing sequence"),
+      flushesAttempted(this, "flushesAttempted",
+                       "conditional flushes executed"),
+      flushesSucceeded(this, "flushesSucceeded",
+                       "flushes that issued an atomic burst"),
+      flushesFailed(this, "flushesFailed", "flushes that detected conflict"),
+      linesIssued(this, "linesIssued", "burst lines sent to the bus"),
+      storeStallCycles(this, "storeStallCycles",
+                       "cycles retire stalled on a busy line buffer"),
+      sim_(simulator), bus_(bus), params_(params)
+{
+    params_.validate();
+    if (params_.lineBytes > bus_.params().maxBurstBytes)
+        csb_fatal("CSB line (", params_.lineBytes,
+                  ") exceeds the bus max burst (",
+                  bus_.params().maxBurstBytes, ")");
+    masterId_ = bus_.registerMaster(name + ".port");
+    simulator.registerClocked(this);
+}
+
+bool
+ConditionalStoreBuffer::canAcceptStore() const
+{
+    return outbox_.size() < params_.numLineBuffers;
+}
+
+void
+ConditionalStoreBuffer::clearAccumulator()
+{
+    // The data register is cleared so that unused words are zero-
+    // padded in the next burst, avoiding data leaks between processes
+    // (section 3.2).
+    data_.fill(0);
+    valid_.reset();
+}
+
+void
+ConditionalStoreBuffer::store(ProcId pid, Addr addr, unsigned size,
+                              const void *data)
+{
+    csb_assert(canAcceptStore(), "CSB store while all line buffers busy");
+    csb_assert(size > 0 && size <= 8 && isPowerOf2(size) &&
+               addr % size == 0, "bad combining store shape");
+
+    Addr line = roundDown(addr, params_.lineBytes);
+    bool match = hitCounter_ > 0 && pid_ == pid && lineAddr_ == line;
+    if (!match) {
+        if (hitCounter_ > 0)
+            ++conflictsOnStore;
+        clearAccumulator();
+        lineAddr_ = line;
+        pid_ = pid;
+        hitCounter_ = 0;
+    }
+
+    unsigned offset = static_cast<unsigned>(addr - line);
+    std::memcpy(data_.data() + offset, data, size);
+    for (unsigned i = 0; i < size; ++i)
+        valid_.set(offset + i);
+    ++hitCounter_;
+    ++storesAccepted;
+    sim::trace::log("csb", "store pid=", pid, " addr=0x", std::hex, addr,
+                    std::dec, " size=", size, (match ? "" : " (cleared)"),
+                    " counter=", hitCounter_);
+}
+
+bool
+ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
+                                         std::uint64_t expected)
+{
+    ++flushesAttempted;
+    Addr line = roundDown(addr, params_.lineBytes);
+
+    bool match = hitCounter_ != 0 && hitCounter_ == expected &&
+                 pid_ == pid &&
+                 (!params_.checkAddress || lineAddr_ == line);
+
+    if (!match) {
+        sim::trace::log("csb", "flush FAILED pid=", pid, " expected=",
+                        expected, " counter=", hitCounter_);
+        clearAccumulator();
+        hitCounter_ = 0;
+        ++flushesFailed;
+        return false;
+    }
+
+    // Success: hand the (zero-padded) line to the system interface.
+    OutLine out;
+    out.addr = lineAddr_;
+    out.data = data_;
+    out.valid = valid_;
+    outbox_.push_back(std::move(out));
+
+    sim::trace::log("csb", "flush OK pid=", pid, " line=0x", std::hex,
+                    line, std::dec, " stores=", expected);
+    clearAccumulator();
+    hitCounter_ = 0;
+    ++flushesSucceeded;
+    return true;
+}
+
+bool
+ConditionalStoreBuffer::quiescent() const
+{
+    return hitCounter_ == 0 && outbox_.empty() && inflight_ == 0;
+}
+
+void
+ConditionalStoreBuffer::tick()
+{
+    if (!canAcceptStore())
+        storeStallCycles += 1;
+
+    if (outbox_.empty() || presentPending_ || !bus_.masterIdle(masterId_))
+        return;
+    // Hand a line to the system interface only when the bus will take
+    // it at the next edge; until then the line buffer stays occupied
+    // (which is what gates following combining stores).
+    if (!bus_.wouldAcceptAtNextEdge(masterId_, /*strongly_ordered=*/true,
+                                    /*is_write=*/true)) {
+        return;
+    }
+
+    OutLine &head = outbox_.front();
+
+    if (params_.partialFlush && headChunks_.empty() &&
+        head.valid.count() != params_.lineBytes) {
+        // Relaxed mode: issue only the valid bytes.
+        for (const Chunk &chunk :
+             decomposeAligned(head.addr, head.valid, params_.lineBytes,
+                              bus_.params().maxBurstBytes)) {
+            headChunks_.push_back(chunk);
+        }
+        csb_assert(!headChunks_.empty(), "flushed an empty line");
+    }
+
+    Addr txn_addr;
+    unsigned txn_size;
+    bool last_chunk;
+    if (params_.partialFlush && !headChunks_.empty()) {
+        txn_addr = headChunks_.front().addr;
+        txn_size = headChunks_.front().size;
+        headChunks_.pop_front();
+        last_chunk = headChunks_.empty();
+    } else {
+        // Base design: always a full zero-padded line burst.
+        txn_addr = head.addr;
+        txn_size = params_.lineBytes;
+        last_chunk = true;
+    }
+
+    std::vector<std::uint8_t> payload(txn_size);
+    std::memcpy(payload.data(), head.data.data() + (txn_addr - head.addr),
+                txn_size);
+
+    bool accepted = bus_.requestWrite(
+        masterId_, txn_addr, std::move(payload), /*strongly_ordered=*/true,
+        /*on_complete=*/[this](Tick) {
+            csb_assert(inflight_ > 0, "CSB completion underflow");
+            --inflight_;
+        },
+        /*on_start=*/[this, last_chunk](Tick) {
+            presentPending_ = false;
+            if (last_chunk)
+                outbox_.pop_front();
+        });
+    csb_assert(accepted, "bus refused CSB request despite idle master");
+    presentPending_ = true;
+    ++inflight_;
+    if (last_chunk)
+        ++linesIssued;
+}
+
+} // namespace csb::mem

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The conditional store buffer (CSB) -- the paper's contribution.
+ *
+ * A single cache-line-sized, software-controlled combining buffer for
+ * the uncached-combining address space (section 3.2):
+ *
+ *  - A combining store whose (process ID, line address) match the
+ *    buffered values merges its data and increments the hit counter.
+ *    On a mismatch the buffer is cleared, the counter resets to 1 and
+ *    the new data is stored.  Stores may arrive in any order.
+ *
+ *  - A conditional flush carries the expected hit-counter value.  If
+ *    counter, process ID and (optionally) line address all match, the
+ *    line is handed to the system interface as ONE burst transaction,
+ *    zero-padded to a full line, and the buffer clears; the flush
+ *    reports success.  Otherwise the buffer clears, the counter
+ *    resets to 0, nothing is issued, and the flush reports failure --
+ *    software branches back and retries (optimistic non-blocking
+ *    synchronization).
+ *
+ * The flushed line is delivered to the bus by this object's own
+ * master port.  With one line buffer, combining stores that arrive
+ * while a flushed line is still waiting to be sent stall the core;
+ * the paper's suggested extension of a second line buffer
+ * (numLineBuffers = 2) removes that stall.
+ */
+
+#ifndef CSB_MEM_CSB_HH
+#define CSB_MEM_CSB_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/system_bus.hh"
+#include "decompose.hh"
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace csb::mem {
+
+/** Configuration of the conditional store buffer. */
+struct CsbParams
+{
+    /** Data register size in bytes = one cache line. */
+    unsigned lineBytes = 64;
+    /**
+     * Line buffers available for flushed-but-not-yet-sent data.
+     * 1 per the base design; 2 enables the pipelining extension.
+     */
+    unsigned numLineBuffers = 1;
+    /**
+     * Include the destination line address in the conflict check
+     * (detects conflicts between threads of one process, section 3.2).
+     */
+    bool checkAddress = true;
+    /**
+     * When set, a successful flush issues only the valid bytes
+     * (decomposed into aligned transactions) instead of a zero-padded
+     * full line -- the "multiple burst sizes" relaxation the paper
+     * mentions for buses that support it.
+     */
+    bool partialFlush = false;
+
+    void validate() const;
+};
+
+/**
+ * The conditional store buffer.  Stores and flushes are driven by the
+ * core's retire stage; the flush-to-bus path runs off this object's
+ * clock.
+ */
+class ConditionalStoreBuffer : public sim::Clocked,
+                               public sim::stats::StatGroup
+{
+  public:
+    ConditionalStoreBuffer(sim::Simulator &simulator, bus::SystemBus &bus,
+                           const CsbParams &params,
+                           std::string name = "csb",
+                           sim::stats::StatGroup *stat_parent = nullptr);
+
+    /**
+     * @return true when a combining store can be accepted now; false
+     * while all line buffers hold flushed data awaiting the bus (the
+     * core stalls retire in that case).
+     */
+    bool canAcceptStore() const;
+
+    /**
+     * A combining store retires.
+     * @pre canAcceptStore()
+     */
+    void store(ProcId pid, Addr addr, unsigned size, const void *data);
+
+    /**
+     * A conditional flush retires.
+     * @param expected the hit-counter value the software expects
+     * @return true on success (the line was issued atomically)
+     */
+    bool conditionalFlush(ProcId pid, Addr addr, std::uint64_t expected);
+
+    /** Current hit-counter value (tests / debugging). */
+    std::uint64_t hitCounter() const { return hitCounter_; }
+
+    /** Line address currently buffered (valid when hitCounter() > 0). */
+    Addr lineAddr() const { return lineAddr_; }
+
+    /** Process ID currently buffered. */
+    ProcId pid() const { return pid_; }
+
+    /** @return true while flushed lines wait for the bus. */
+    bool flushPending() const { return !outbox_.empty(); }
+
+    /** @return true when nothing is buffered or in flight. */
+    bool quiescent() const;
+
+    /**
+     * @return true when all flushed lines have completed on the bus
+     * (unflushed accumulating stores are allowed -- they have no bus
+     * side effects yet).
+     */
+    bool
+    drained() const
+    {
+        return outbox_.empty() && inflight_ == 0;
+    }
+
+    void tick() override;
+
+    const CsbParams &params() const { return params_; }
+
+    sim::stats::Scalar storesAccepted;
+    sim::stats::Scalar conflictsOnStore;
+    sim::stats::Scalar flushesAttempted;
+    sim::stats::Scalar flushesSucceeded;
+    sim::stats::Scalar flushesFailed;
+    sim::stats::Scalar linesIssued;
+    sim::stats::Scalar storeStallCycles;
+
+  private:
+    struct OutLine
+    {
+        Addr addr = 0;
+        std::array<std::uint8_t, maxBlockBytes> data{};
+        ValidMask valid;
+    };
+
+    void clearAccumulator();
+
+    sim::Simulator &sim_;
+    bus::SystemBus &bus_;
+    CsbParams params_;
+    MasterId masterId_;
+
+    // Accumulating line register.
+    std::array<std::uint8_t, maxBlockBytes> data_{};
+    ValidMask valid_;
+    Addr lineAddr_ = 0;
+    ProcId pid_ = 0;
+    std::uint64_t hitCounter_ = 0;
+
+    /** Flushed lines waiting for their bus transaction to start. */
+    std::deque<OutLine> outbox_;
+    /** Chunks of the partially-flushed head line (partialFlush mode). */
+    std::deque<Chunk> headChunks_;
+    bool presentPending_ = false;
+    unsigned inflight_ = 0;
+};
+
+} // namespace csb::mem
+
+#endif // CSB_MEM_CSB_HH

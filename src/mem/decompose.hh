@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Decomposition of a partially valid block into the minimal sequence
+ * of naturally aligned, power-of-two bus transactions.
+ *
+ * The paper's bus model only supports power-of-two transfer sizes
+ * from 1 byte to a cache line, naturally aligned (section 4.1); when
+ * the uncached buffer could not combine a whole block it must issue
+ * several smaller transactions.  This greedy largest-fit split is the
+ * mechanism behind two observations in the paper: the better bus
+ * utilisation when going from 7 to 8 combined doublewords (figure 5),
+ * and the occasional advantage of a *smaller* combining buffer for
+ * medium transfers (figures 3a/3f).
+ */
+
+#ifndef CSB_MEM_DECOMPOSE_HH
+#define CSB_MEM_DECOMPOSE_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace csb::mem {
+
+/** Maximum block size handled by the decomposer (one cache line). */
+constexpr unsigned maxBlockBytes = 128;
+
+/** Valid-byte mask of a block. */
+using ValidMask = std::bitset<maxBlockBytes>;
+
+/** One naturally aligned power-of-two transfer. */
+struct Chunk
+{
+    Addr addr = 0;
+    unsigned size = 0;
+
+    bool
+    operator==(const Chunk &other) const
+    {
+        return addr == other.addr && size == other.size;
+    }
+};
+
+/**
+ * Split the valid bytes of the block at @p block_base into naturally
+ * aligned power-of-two chunks, none exceeding @p max_txn_bytes, each
+ * covering only valid bytes.
+ *
+ * @param block_base    block-aligned base address
+ * @param valid         per-byte valid bits (bit i = block_base + i)
+ * @param block_size    block size in bytes (power of two <= 128)
+ * @param max_txn_bytes largest legal transaction (power of two)
+ * @return chunks in ascending address order
+ */
+std::vector<Chunk> decomposeAligned(Addr block_base, const ValidMask &valid,
+                                    unsigned block_size,
+                                    unsigned max_txn_bytes);
+
+} // namespace csb::mem
+
+#endif // CSB_MEM_DECOMPOSE_HH

@@ -1,0 +1,89 @@
+#include "page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace csb::mem {
+
+const char *
+pageAttrName(PageAttr attr)
+{
+    switch (attr) {
+      case PageAttr::Cached: return "cached";
+      case PageAttr::Uncached: return "uncached";
+      case PageAttr::UncachedAccelerated: return "uncached-accelerated";
+      case PageAttr::UncachedCombining: return "uncached-combining";
+    }
+    return "?";
+}
+
+void
+PageTable::setAttr(Addr base, Addr size, PageAttr attr)
+{
+    csb_assert(size > 0, "empty attribute range");
+    Addr first = roundDown(base, pageSize);
+    Addr last = roundDown(base + size - 1, pageSize);
+    for (Addr page = first; page <= last; page += pageSize)
+        pages_[page] = attr;
+}
+
+PageAttr
+PageTable::attrOf(Addr addr) const
+{
+    auto it = pages_.find(roundDown(addr, pageSize));
+    return it == pages_.end() ? PageAttr::Cached : it->second;
+}
+
+Tlb::Tlb(const PageTable &page_table, unsigned entries, Tick miss_penalty,
+         std::string name, sim::stats::StatGroup *stat_parent)
+    : sim::stats::StatGroup(std::move(name), stat_parent),
+      hits(this, "hits", "TLB hits"),
+      misses(this, "misses", "TLB misses"),
+      pageTable_(page_table), entries_(entries),
+      missPenalty_(miss_penalty)
+{
+    csb_assert(entries > 0, "TLB needs at least one entry");
+}
+
+PageAttr
+Tlb::translate(Addr addr, ProcId asid, Tick &penalty)
+{
+    Addr vpn = addr / PageTable::pageSize;
+    ++useClock_;
+
+    for (Entry &entry : entries_) {
+        if (entry.valid && entry.vpn == vpn && entry.asid == asid) {
+            entry.lastUse = useClock_;
+            ++hits;
+            penalty = 0;
+            return entry.attr;
+        }
+    }
+
+    // Miss: refill over the LRU (or first invalid) entry.
+    ++misses;
+    Entry *victim = &entries_[0];
+    for (Entry &entry : entries_) {
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->vpn = vpn;
+    victim->asid = asid;
+    victim->attr = pageTable_.attrOf(addr);
+    victim->lastUse = useClock_;
+    victim->valid = true;
+    penalty = missPenalty_;
+    return victim->attr;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace csb::mem

@@ -1,0 +1,61 @@
+#include "physical_memory.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace csb::mem {
+
+PhysicalMemory::Frame *
+PhysicalMemory::frameFor(Addr addr, bool create) const
+{
+    Addr frame_base = roundDown(addr, frameSize);
+    auto it = frames_.find(frame_base);
+    if (it != frames_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto frame = std::make_unique<Frame>();
+    frame->fill(0);
+    Frame *raw = frame.get();
+    frames_.emplace(frame_base, std::move(frame));
+    return raw;
+}
+
+void
+PhysicalMemory::read(Addr addr, void *buffer, std::size_t size) const
+{
+    auto *out = static_cast<std::uint8_t *>(buffer);
+    while (size > 0) {
+        Addr offset = addr % frameSize;
+        std::size_t chunk =
+            std::min<std::size_t>(size, frameSize - offset);
+        const Frame *frame = frameFor(addr, /*create=*/false);
+        if (frame) {
+            std::memcpy(out, frame->data() + offset, chunk);
+        } else {
+            std::memset(out, 0, chunk);
+        }
+        out += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+PhysicalMemory::write(Addr addr, const void *buffer, std::size_t size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buffer);
+    while (size > 0) {
+        Addr offset = addr % frameSize;
+        std::size_t chunk =
+            std::min<std::size_t>(size, frameSize - offset);
+        Frame *frame = frameFor(addr, /*create=*/true);
+        std::memcpy(frame->data() + offset, in, chunk);
+        in += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+} // namespace csb::mem

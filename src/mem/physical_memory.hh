@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sparse functional backing store for the simulated physical address
+ * space.  Timing lives elsewhere (caches, bus, MainMemory target);
+ * this class only holds bytes.
+ */
+
+#ifndef CSB_MEM_PHYSICAL_MEMORY_HH
+#define CSB_MEM_PHYSICAL_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace csb::mem {
+
+/** Byte-addressable sparse memory, allocated in 4 KiB frames. */
+class PhysicalMemory
+{
+  public:
+    static constexpr Addr frameSize = 4096;
+
+    PhysicalMemory() = default;
+
+    PhysicalMemory(const PhysicalMemory &) = delete;
+    PhysicalMemory &operator=(const PhysicalMemory &) = delete;
+
+    /** Read @p size bytes at @p addr; untouched frames read as zero. */
+    void read(Addr addr, void *buffer, std::size_t size) const;
+
+    /** Write @p size bytes at @p addr. */
+    void write(Addr addr, const void *buffer, std::size_t size);
+
+    /** Convenience typed accessors (little endian, like SPARC V9 LE). */
+    template <typename T>
+    T
+    readT(Addr addr) const
+    {
+        T value{};
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    writeT(Addr addr, T value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Number of frames currently allocated (for tests). */
+    std::size_t framesAllocated() const { return frames_.size(); }
+
+  private:
+    using Frame = std::array<std::uint8_t, frameSize>;
+
+    Frame *frameFor(Addr addr, bool create) const;
+
+    mutable std::unordered_map<Addr, std::unique_ptr<Frame>> frames_;
+};
+
+} // namespace csb::mem
+
+#endif // CSB_MEM_PHYSICAL_MEMORY_HH

@@ -1,0 +1,255 @@
+#include "uncached_buffer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace csb::mem {
+
+void
+UncachedBufferParams::validate() const
+{
+    if (entries == 0)
+        csb_fatal("uncached buffer needs at least one entry");
+    if (combineBytes != 0 &&
+        (!isPowerOf2(combineBytes) || combineBytes < 8 ||
+         combineBytes > maxBlockBytes)) {
+        csb_fatal("combine block must be a power of two in [8,",
+                  maxBlockBytes, "], got ", combineBytes);
+    }
+}
+
+UncachedBuffer::UncachedBuffer(sim::Simulator &simulator,
+                               bus::SystemBus &bus,
+                               const UncachedBufferParams &params,
+                               std::string name,
+                               sim::stats::StatGroup *stat_parent)
+    : sim::Clocked(name, sim::ClockDomain(1), /*eval_order=*/-5),
+      sim::stats::StatGroup(name, stat_parent),
+      storesPushed(this, "storesPushed", "uncached stores accepted"),
+      loadsPushed(this, "loadsPushed", "uncached loads accepted"),
+      storesCoalesced(this, "storesCoalesced",
+                      "stores merged into an existing entry"),
+      entriesCreated(this, "entriesCreated", "buffer entries allocated"),
+      txnsIssued(this, "txnsIssued", "bus transactions issued"),
+      entryOccupancy(this, "entryOccupancy",
+                     "stores combined per entry", 1, 16, 1),
+      sim_(simulator), bus_(bus), params_(params)
+{
+    params_.validate();
+    masterId_ = bus_.registerMaster(name + ".port");
+    simulator.registerClocked(this);
+}
+
+unsigned
+UncachedBuffer::blockBytes() const
+{
+    return params_.combineBytes != 0 ? params_.combineBytes : 8;
+}
+
+unsigned
+UncachedBuffer::maxTxnBytes() const
+{
+    return std::min<unsigned>(blockBytes(), bus_.params().maxBurstBytes);
+}
+
+bool
+UncachedBuffer::canCoalesceInto(const Entry &tail, Addr addr,
+                                unsigned size) const
+{
+    if (params_.combineBytes == 0)
+        return false;
+    if (tail.kind != Kind::Store || tail.locked)
+        return false;
+    if (roundDown(addr, blockBytes()) != tail.addr)
+        return false;
+    if (params_.policy == CombinePolicy::SequentialOnly) {
+        // R10000-style pattern detection: only the very next address
+        // extends the entry.
+        (void)size;
+        return addr == tail.lastStoreEnd;
+    }
+    return true;
+}
+
+bool
+UncachedBuffer::canAcceptStore(Addr addr, unsigned size) const
+{
+    if (!entries_.empty() &&
+        canCoalesceInto(entries_.back(), addr, size)) {
+        return true; // coalesces; no new entry needed
+    }
+    return entries_.size() < params_.entries;
+}
+
+bool
+UncachedBuffer::canAcceptLoad() const
+{
+    return entries_.size() < params_.entries;
+}
+
+void
+UncachedBuffer::pushStore(Addr addr, unsigned size, const void *data)
+{
+    csb_assert(size > 0 && size <= 8 && isPowerOf2(size),
+               "bad uncached store size ", size);
+    csb_assert(addr % size == 0, "misaligned uncached store");
+    csb_assert(canAcceptStore(addr, size), "pushStore without capacity");
+
+    Addr block = roundDown(addr, blockBytes());
+    unsigned offset = static_cast<unsigned>(addr - block);
+
+    if (!entries_.empty() &&
+        canCoalesceInto(entries_.back(), addr, size)) {
+        Entry &tail = entries_.back();
+        std::memcpy(tail.data.data() + offset, data, size);
+        for (unsigned i = 0; i < size; ++i)
+            tail.valid.set(offset + i);
+        ++tail.storeCount;
+        tail.lastStoreEnd = addr + size;
+        tail.pieces.emplace_back(offset, size);
+        ++storesPushed;
+        ++storesCoalesced;
+        sim::trace::log("ubuf", "coalesce 0x", std::hex, addr,
+                        std::dec, "/", size, " into block 0x",
+                        std::hex, block, std::dec, " (",
+                        tail.storeCount, " stores)");
+        return;
+    }
+
+    Entry entry;
+    entry.kind = Kind::Store;
+    entry.addr = block;
+    std::memcpy(entry.data.data() + offset, data, size);
+    for (unsigned i = 0; i < size; ++i)
+        entry.valid.set(offset + i);
+    entry.storeCount = 1;
+    entry.lastStoreEnd = addr + size;
+    entry.pieces.emplace_back(offset, size);
+    entries_.push_back(std::move(entry));
+    ++storesPushed;
+    ++entriesCreated;
+    sim::trace::log("ubuf", "new entry 0x", std::hex, block, std::dec,
+                    " depth=", entries_.size());
+}
+
+void
+UncachedBuffer::pushLoad(Addr addr, unsigned size, UncachedLoadCallback done)
+{
+    csb_assert(canAcceptLoad(), "pushLoad without capacity");
+    csb_assert(size > 0 && isPowerOf2(size) && addr % size == 0,
+               "bad uncached load shape");
+    Entry entry;
+    entry.kind = Kind::Load;
+    entry.addr = addr;
+    entry.size = size;
+    entry.loadDone = std::move(done);
+    entries_.push_back(std::move(entry));
+    ++loadsPushed;
+    ++entriesCreated;
+}
+
+bool
+UncachedBuffer::empty() const
+{
+    return entries_.empty() && inflightStores_ == 0 && inflightLoads_ == 0;
+}
+
+void
+UncachedBuffer::tick()
+{
+    if (entries_.empty())
+        return;
+    Entry &head = entries_.front();
+    if (head.presentPending || !bus_.masterIdle(masterId_))
+        return;
+    // Keep the head entry open (combining) until the bus can actually
+    // take its transaction at the next edge.
+    if (!bus_.wouldAcceptAtNextEdge(masterId_, /*strongly_ordered=*/true,
+                                    head.kind == Kind::Store)) {
+        return;
+    }
+    if (head.kind == Kind::Store) {
+        presentHeadStore();
+    } else {
+        presentHeadLoad();
+    }
+}
+
+void
+UncachedBuffer::presentHeadStore()
+{
+    Entry &head = entries_.front();
+    if (!head.locked) {
+        head.locked = true;
+        head.chunks.clear();
+        bool full_block =
+            head.valid.count() == blockBytes() &&
+            blockBytes() <= maxTxnBytes();
+        if (params_.policy == CombinePolicy::SequentialOnly &&
+            !full_block) {
+            // R10000 semantics: a burst only for a fully combined
+            // block; otherwise one single-beat per original store.
+            for (const auto &[offset, size] : head.pieces)
+                head.chunks.push_back(Chunk{head.addr + offset, size});
+        } else {
+            for (const Chunk &chunk :
+                 decomposeAligned(head.addr, head.valid, blockBytes(),
+                                  maxTxnBytes())) {
+                head.chunks.push_back(chunk);
+            }
+        }
+        csb_assert(!head.chunks.empty(), "locked an empty store entry");
+        entryOccupancy.sample(head.storeCount);
+    }
+
+    Chunk chunk = head.chunks.front();
+    std::vector<std::uint8_t> payload(chunk.size);
+    std::memcpy(payload.data(),
+                head.data.data() + (chunk.addr - head.addr), chunk.size);
+
+    bool accepted = bus_.requestWrite(
+        masterId_, chunk.addr, std::move(payload), /*strongly_ordered=*/true,
+        /*on_complete=*/[this](Tick) {
+            csb_assert(inflightStores_ > 0, "store completion underflow");
+            --inflightStores_;
+        },
+        /*on_start=*/[this](Tick) {
+            Entry &started = entries_.front();
+            started.presentPending = false;
+            if (started.chunks.empty())
+                entries_.pop_front();
+        });
+    csb_assert(accepted, "bus refused request despite idle master");
+
+    head.chunks.pop_front();
+    head.presentPending = true;
+    ++inflightStores_;
+    ++txnsIssued;
+}
+
+void
+UncachedBuffer::presentHeadLoad()
+{
+    Entry &head = entries_.front();
+    bool accepted = bus_.requestRead(
+        masterId_, head.addr, head.size, /*strongly_ordered=*/true,
+        /*on_complete=*/
+        [this, done = head.loadDone](Tick when,
+                                     const std::vector<std::uint8_t> &data) {
+            csb_assert(inflightLoads_ > 0, "load completion underflow");
+            --inflightLoads_;
+            if (done)
+                done(when, data);
+        },
+        /*on_start=*/[this](Tick) {
+            entries_.pop_front();
+        });
+    csb_assert(accepted, "bus refused request despite idle master");
+    head.presentPending = true;
+    ++inflightLoads_;
+    ++txnsIssued;
+}
+
+} // namespace csb::mem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Clock domains and cycle-driven (Clocked) simulation objects.
+ *
+ * The CPU core runs at one tick per cycle; the system bus runs at a
+ * configurable ratio of CPU cycles per bus cycle (the paper's
+ * "processor to bus frequency ratio").  A Clocked object registers
+ * with the Simulator and has tick() invoked on every edge of its
+ * domain, in ascending evaluation-order.
+ */
+
+#ifndef CSB_SIM_CLOCKED_HH
+#define CSB_SIM_CLOCKED_HH
+
+#include <cstdint>
+#include <string>
+
+#include "types.hh"
+
+namespace csb::sim {
+
+/** A clock derived from the global tick (CPU cycle) count. */
+class ClockDomain
+{
+  public:
+    /**
+     * @param period CPU ticks per cycle of this domain (>= 1).
+     * @param phase  offset of the first edge, in ticks.
+     */
+    explicit ClockDomain(Tick period = 1, Tick phase = 0)
+        : period_(period), phase_(phase)
+    {}
+
+    Tick period() const { return period_; }
+    Tick phase() const { return phase_; }
+
+    /** @return true when @p tick is an edge of this domain. */
+    bool
+    isEdge(Tick tick) const
+    {
+        return tick >= phase_ && (tick - phase_) % period_ == 0;
+    }
+
+    /** Cycle index of this domain at @p tick (edges count up from 0). */
+    std::uint64_t
+    cycleAt(Tick tick) const
+    {
+        return tick < phase_ ? 0 : (tick - phase_) / period_;
+    }
+
+    /** Tick of cycle @p cycle of this domain. */
+    Tick
+    tickOfCycle(std::uint64_t cycle) const
+    {
+        return phase_ + cycle * period_;
+    }
+
+    /** First edge at or after @p tick. */
+    Tick
+    nextEdgeAt(Tick tick) const
+    {
+        if (tick <= phase_)
+            return phase_;
+        return phase_ + roundUp(tick - phase_, period_);
+    }
+
+  private:
+    Tick period_;
+    Tick phase_;
+};
+
+/**
+ * Base class for objects evaluated once per cycle of their domain.
+ *
+ * Evaluation order within a tick is ascending evalOrder(); within the
+ * same order value, registration order.  By convention, consumers
+ * (bus, memory) use lower values than producers (CPU) so that a value
+ * produced in cycle N is consumed no earlier than cycle N+1.
+ */
+class Clocked
+{
+  public:
+    Clocked(std::string name, ClockDomain domain, int eval_order = 0)
+        : name_(std::move(name)), domain_(domain), evalOrder_(eval_order)
+    {}
+
+    virtual ~Clocked() = default;
+
+    /** Called on every edge of the object's clock domain. */
+    virtual void tick() = 0;
+
+    const std::string &name() const { return name_; }
+    const ClockDomain &clockDomain() const { return domain_; }
+    int evalOrder() const { return evalOrder_; }
+
+  private:
+    std::string name_;
+    ClockDomain domain_;
+    int evalOrder_;
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_CLOCKED_HH

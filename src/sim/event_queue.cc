@@ -1,0 +1,189 @@
+#include "event_queue.hh"
+
+namespace csb::sim {
+
+namespace {
+
+/** Event adapter that runs a std::function exactly once. */
+class FuncEvent : public Event
+{
+  public:
+    FuncEvent(std::function<void()> fn, int pri,
+              std::shared_ptr<detail::FuncEventState> state)
+        : Event(static_cast<Priority>(pri)), fn_(std::move(fn)),
+          state_(std::move(state))
+    {}
+
+    void
+    process() override
+    {
+        state_->done = true;
+        fn_();
+    }
+
+    std::string name() const override { return "func-event"; }
+
+  private:
+    std::function<void()> fn_;
+    std::shared_ptr<detail::FuncEventState> state_;
+};
+
+} // namespace
+
+Event::~Event()
+{
+    csb_assert(!scheduled_, "event destroyed while scheduled");
+}
+
+void
+EventHandle::cancel()
+{
+    if (pending()) {
+        queue_->deschedule(state_->event);
+        state_->done = true;
+    }
+}
+
+EventQueue::~EventQueue()
+{
+    // Drain remaining entries without firing them; free owned events.
+    while (!queue_.empty()) {
+        Entry entry = queue_.top();
+        queue_.pop();
+        if (entry.event->seq_ == entry.seq) {
+            entry.event->scheduled_ = false;
+            if (entry.event->selfDeleting_)
+                delete entry.event;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    csb_assert(!event->scheduled_, "double-schedule of ", event->name());
+    csb_assert(when >= curTick_, "scheduling ", event->name(),
+               " in the past: ", when, " < ", curTick_);
+    event->when_ = when;
+    event->seq_ = nextSeq_++;
+    event->scheduled_ = true;
+    queue_.push(Entry{when, event->priority_, event->seq_, event});
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    csb_assert(event->scheduled_, "deschedule of idle event");
+    // Lazy removal: the stale heap entry is detected by its sequence
+    // number when popped.
+    event->scheduled_ = false;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    csb_assert(!event->selfDeleting_,
+               "cannot reschedule a one-shot function event");
+    if (event->scheduled_)
+        event->scheduled_ = false;
+    schedule(event, when);
+}
+
+EventHandle
+EventQueue::scheduleFunc(Tick when, std::function<void()> fn, int priority)
+{
+    auto state = std::make_shared<detail::FuncEventState>();
+    auto *ev = new FuncEvent(std::move(fn), priority, state);
+    ev->selfDeleting_ = true;
+    state->event = ev;
+    schedule(ev, when);
+    return EventHandle(this, std::move(state));
+}
+
+bool
+EventQueue::empty() const
+{
+    return nextTick() == maxTick;
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    // Skip lazily removed entries.
+    auto copy = queue_;
+    while (!copy.empty()) {
+        const Entry &entry = copy.top();
+        if (entry.event->scheduled_ && entry.event->seq_ == entry.seq)
+            return entry.when;
+        copy.pop();
+    }
+    return maxTick;
+}
+
+bool
+EventQueue::entryLive(const Entry &entry) const
+{
+    return entry.event->scheduled_ && entry.event->seq_ == entry.seq;
+}
+
+void
+EventQueue::discard(const Entry &entry)
+{
+    // A cancelled one-shot function event is owned by the queue; free
+    // it once its (only) heap entry is dropped.  A rescheduled caller-
+    // owned event is still live under a newer sequence number.
+    if (entry.event->seq_ == entry.seq && !entry.event->scheduled_ &&
+        entry.event->selfDeleting_) {
+        delete entry.event;
+    }
+}
+
+void
+EventQueue::fire(Event *event)
+{
+    event->scheduled_ = false;
+    event->seq_ = 0;
+    ++numProcessed_;
+    event->process();
+    if (event->selfDeleting_ && !event->scheduled_)
+        delete event;
+}
+
+bool
+EventQueue::serviceOne()
+{
+    while (!queue_.empty()) {
+        Entry entry = queue_.top();
+        queue_.pop();
+        if (!entryLive(entry)) {
+            discard(entry);
+            continue;
+        }
+        csb_assert(entry.when >= curTick_, "event in the past");
+        curTick_ = entry.when;
+        fire(entry.event);
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::serviceUntil(Tick now)
+{
+    csb_assert(now >= curTick_, "time going backwards");
+    while (!queue_.empty()) {
+        Entry entry = queue_.top();
+        if (entryLive(entry) && entry.when > now)
+            break;
+        queue_.pop();
+        if (!entryLive(entry)) {
+            discard(entry);
+            continue;
+        }
+        curTick_ = entry.when;
+        fire(entry.event);
+    }
+    curTick_ = now;
+}
+
+} // namespace csb::sim

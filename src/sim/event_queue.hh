@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Discrete event queue.
+ *
+ * Two usage styles are supported:
+ *  - subclassing Event and overriding process(), gem5 style;
+ *  - scheduling a std::function via EventQueue::scheduleFunc(), which
+ *    returns a handle that can cancel the callback.
+ *
+ * Events at the same tick fire in (priority, insertion-order) order,
+ * which keeps the simulation fully deterministic.
+ */
+
+#ifndef CSB_SIM_EVENT_QUEUE_HH
+#define CSB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace csb::sim {
+
+class EventQueue;
+
+/** Base class for schedulable events. */
+class Event
+{
+  public:
+    /** Lower value fires first within a tick. */
+    enum Priority : int {
+        MaximumPri = -100,
+        DefaultPri = 0,
+        StatDumpPri = 50,
+        MinimumPri = 100,
+    };
+
+    explicit Event(Priority pri = DefaultPri)
+        : priority_(pri)
+    {}
+
+    virtual ~Event();
+
+    /** Invoked when the event fires. */
+    virtual void process() = 0;
+
+    /** @return descriptive name used in traces. */
+    virtual std::string name() const { return "event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    int priority_;
+    bool scheduled_ = false;
+    /** Set when the owning queue should delete the event after firing. */
+    bool selfDeleting_ = false;
+};
+
+namespace detail {
+
+/** Shared bookkeeping between a scheduleFunc() event and its handle. */
+struct FuncEventState
+{
+    Event *event = nullptr;
+    /** True once the callback has fired or been cancelled. */
+    bool done = false;
+};
+
+} // namespace detail
+
+/** Handle returned by scheduleFunc(); safe to use after the event fired. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the callback if it has not fired yet. */
+    void cancel();
+
+    /** @return true while the callback is still pending. */
+    bool pending() const { return state_ && !state_->done; }
+
+  private:
+    friend class EventQueue;
+
+    EventHandle(EventQueue *queue,
+                std::shared_ptr<detail::FuncEventState> state)
+        : queue_(queue), state_(std::move(state))
+    {}
+
+    EventQueue *queue_ = nullptr;
+    std::shared_ptr<detail::FuncEventState> state_;
+};
+
+/**
+ * Priority queue of events ordered by (tick, priority, sequence).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p event at absolute tick @p when (>= curTick()). */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a pending event. */
+    void deschedule(Event *event);
+
+    /** Reschedule to a new tick, whether or not currently scheduled. */
+    void reschedule(Event *event, Tick when);
+
+    /**
+     * Schedule a one-shot callback at absolute tick @p when.
+     * The returned handle may be used to cancel it.
+     */
+    EventHandle scheduleFunc(Tick when, std::function<void()> fn,
+                             int priority = Event::DefaultPri);
+
+    /** @return true when no events are pending. */
+    bool empty() const;
+
+    /** Tick of the next pending event, or maxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Advance time to the next event and fire every event scheduled
+     * for that tick.  @return false when the queue was empty.
+     */
+    bool serviceOne();
+
+    /** Fire all events with when() <= @p now, advancing curTick. */
+    void serviceUntil(Tick now);
+
+    /** Number of events processed so far (for stats / debugging). */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    /** Heap entry; stale entries are detected by sequence mismatch. */
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *event;
+    };
+
+    struct Compare
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool entryLive(const Entry &entry) const;
+    void discard(const Entry &entry);
+    void fire(Event *event);
+
+    std::priority_queue<Entry, std::vector<Entry>, Compare> queue_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t numProcessed_ = 0;
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_EVENT_QUEUE_HH

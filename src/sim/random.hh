@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for workload generators.
+ *
+ * Simulation results must be reproducible bit-for-bit, so all random
+ * behaviour flows through this explicitly seeded generator rather
+ * than std::random_device.
+ */
+
+#ifndef CSB_SIM_RANDOM_HH
+#define CSB_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace csb::sim {
+
+/** xoshiro256** -- fast, high-quality, fully deterministic. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 expansion of the seed into the state vector.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        csb_assert(lo <= hi, "bad uniform range");
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform01() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_RANDOM_HH

@@ -1,0 +1,69 @@
+#include "simulator.hh"
+
+#include <algorithm>
+
+#include "trace.hh"
+
+namespace csb::sim {
+
+Simulator::Simulator()
+{
+    // The newest simulator provides trace timestamps; in practice one
+    // simulator is live at a time per measurement.
+    trace::setTickSource([this] { return curTick(); });
+}
+
+Simulator::~Simulator()
+{
+    // Never leave a dangling tick source behind.
+    trace::setTickSource(nullptr);
+}
+
+void
+Simulator::registerClocked(Clocked *obj)
+{
+    clocked_.push_back(obj);
+    order_dirty_ = true;
+}
+
+void
+Simulator::stepOne()
+{
+    if (order_dirty_) {
+        std::stable_sort(clocked_.begin(), clocked_.end(),
+                         [](const Clocked *a, const Clocked *b) {
+                             return a->evalOrder() < b->evalOrder();
+                         });
+        order_dirty_ = false;
+    }
+
+    Tick now = events_.curTick();
+    events_.serviceUntil(now);
+    for (Clocked *obj : clocked_) {
+        if (obj->clockDomain().isEdge(now))
+            obj->tick();
+    }
+    events_.serviceUntil(now + 1);
+}
+
+Tick
+Simulator::run(const std::function<bool()> &done, Tick max_ticks)
+{
+    Tick start = curTick();
+    while (curTick() - start < max_ticks) {
+        if (done())
+            return curTick();
+        stepOne();
+    }
+    return curTick();
+}
+
+Tick
+Simulator::runFor(Tick n)
+{
+    for (Tick i = 0; i < n; ++i)
+        stepOne();
+    return curTick();
+}
+
+} // namespace csb::sim

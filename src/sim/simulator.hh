@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Top-level simulation driver combining a cycle loop with a discrete
+ * event queue.
+ */
+
+#ifndef CSB_SIM_SIMULATOR_HH
+#define CSB_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "clocked.hh"
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace csb::sim {
+
+/**
+ * Owns simulated time.  Each tick: first all events scheduled for the
+ * tick fire, then every registered Clocked object whose domain has an
+ * edge at the tick is evaluated in evalOrder.
+ */
+class Simulator
+{
+  public:
+    Simulator();
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current time in CPU cycles. */
+    Tick curTick() const { return events_.curTick(); }
+
+    /** The shared event queue (for latency callbacks). */
+    EventQueue &eventQueue() { return events_; }
+
+    /** Register a cycle-driven object.  Not owned. */
+    void registerClocked(Clocked *obj);
+
+    /**
+     * Run until @p done returns true (checked after every tick) or
+     * @p max_ticks elapse.
+     * @return the tick at which the run stopped.
+     */
+    Tick run(const std::function<bool()> &done, Tick max_ticks = 10'000'000);
+
+    /** Run for exactly @p n ticks. */
+    Tick runFor(Tick n);
+
+    /** Advance a single tick (events then clocked evaluation). */
+    void stepOne();
+
+    /** Number of Clocked objects registered. */
+    std::size_t numClocked() const { return clocked_.size(); }
+
+  private:
+    EventQueue events_;
+    std::vector<Clocked *> clocked_;
+    bool order_dirty_ = false;
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_SIMULATOR_HH

@@ -1,0 +1,168 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace csb::sim::stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    csb_assert(parent != nullptr, "stat '", name_, "' needs a group");
+    parent->stats_.push_back(this);
+}
+
+namespace {
+
+void
+emit(std::ostream &os, const std::string &prefix, const std::string &name,
+     double value, const std::string &desc)
+{
+    os << std::left << std::setw(44) << (prefix + name) << " "
+       << std::right << std::setw(14) << value << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name(), value_, desc());
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name(), value(), desc());
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double min, double max,
+                           double bucket_size)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      min_(min), max_(max), bucketSize_(bucket_size)
+{
+    csb_assert(max > min && bucket_size > 0, "bad distribution shape");
+    buckets_.resize(static_cast<std::size_t>((max - min) / bucket_size) + 1);
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        minSampled_ = v;
+        maxSampled_ = v;
+    } else {
+        minSampled_ = std::min(minSampled_, v);
+        maxSampled_ = std::max(maxSampled_, v);
+    }
+    samples_ += count;
+    sum_ += v * count;
+    if (v < min_) {
+        underflow_ += count;
+    } else if (v > max_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - min_) / bucketSize_);
+        idx = std::min(idx, buckets_.size() - 1);
+        buckets_[idx] += count;
+    }
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name() + "::samples",
+         static_cast<double>(samples_), desc());
+    emit(os, prefix, name() + "::mean", mean(), desc());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        std::ostringstream bucket_name;
+        bucket_name << name() << "::" << (min_ + i * bucketSize_);
+        emit(os, prefix, bucket_name.str(),
+             static_cast<double>(buckets_[i]), desc());
+    }
+    if (underflow_)
+        emit(os, prefix, name() + "::underflow",
+             static_cast<double>(underflow_), desc());
+    if (overflow_)
+        emit(os, prefix, name() + "::overflow",
+             static_cast<double>(overflow_), desc());
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    minSampled_ = 0;
+    maxSampled_ = 0;
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    emit(os, prefix, name(), value(), desc());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &siblings = parent_->children_;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                       siblings.end());
+    }
+}
+
+std::string
+StatGroup::fullStatName() const
+{
+    if (!parent_)
+        return name_;
+    std::string parent_name = parent_->fullStatName();
+    return parent_name.empty() ? name_ : parent_name + "." + name_;
+}
+
+void
+StatGroup::dumpStats(std::ostream &os) const
+{
+    std::string prefix = fullStatName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *stat : stats_)
+        stat->dump(os, prefix);
+    for (const StatGroup *child : children_)
+        child->dumpStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *stat : stats_)
+        stat->reset();
+    for (StatGroup *child : children_)
+        child->resetStats();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const StatBase *stat : stats_) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+} // namespace csb::sim::stats

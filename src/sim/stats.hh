@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics register themselves with a StatGroup; groups form a tree
+ * rooted at the owning component.  dump() renders "name value # desc"
+ * lines, and every stat can be read programmatically by the benchmark
+ * harness.
+ */
+
+#ifndef CSB_SIM_STATS_HH
+#define CSB_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace csb::sim::stats {
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the stat as one or more output lines. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic or signed scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Running average (sum / count). */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double value() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+
+    void
+    reset() override
+    {
+        sum_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram with underflow/overflow. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double min, double max, double bucket_size);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t totalSamples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    double minSampled() const { return minSampled_; }
+    double maxSampled() const { return maxSampled_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double min_;
+    double max_;
+    double bucketSize_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0;
+    double minSampled_ = 0;
+    double maxSampled_ = 0;
+};
+
+/** Derived value computed on demand from other stats. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics and child groups.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return name_; }
+
+    /** Fully qualified dotted name. */
+    std::string fullStatName() const;
+
+    /** Dump this group's stats and all children, depth first. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset all stats in this group and its children. */
+    void resetStats();
+
+    /** Look up a stat in this group by local name; null when absent. */
+    const StatBase *findStat(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace csb::sim::stats
+
+#endif // CSB_SIM_STATS_HH

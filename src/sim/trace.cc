@@ -1,0 +1,130 @@
+#include "trace.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+namespace csb::sim::trace {
+
+namespace {
+
+struct TraceState
+{
+    std::set<std::string> channels;
+    bool all = false;
+    bool anyEnabled = false;
+    std::ostream *out = &std::cerr;
+    std::function<Tick()> tickSource;
+    bool envLoaded = false;
+};
+
+TraceState &
+state()
+{
+    static TraceState instance;
+    return instance;
+}
+
+void
+loadEnvOnce()
+{
+    TraceState &s = state();
+    if (s.envLoaded)
+        return;
+    s.envLoaded = true;
+    const char *env = std::getenv("CSBSIM_TRACE");
+    if (!env)
+        return;
+    std::string spec(env);
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        std::string name =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!name.empty())
+            enable(name);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+}
+
+} // namespace
+
+bool
+enabled(const std::string &name)
+{
+    loadEnvOnce();
+    const TraceState &s = state();
+    if (!s.anyEnabled)
+        return false;
+    return s.all || s.channels.count(name) != 0;
+}
+
+void
+enable(const std::string &name)
+{
+    TraceState &s = state();
+    s.envLoaded = true; // explicit control overrides lazy env load
+    if (name == "all") {
+        s.all = true;
+    } else {
+        s.channels.insert(name);
+    }
+    s.anyEnabled = true;
+}
+
+void
+disable(const std::string &name)
+{
+    TraceState &s = state();
+    if (name == "all") {
+        s.all = false;
+        s.channels.clear();
+        s.anyEnabled = false;
+    } else {
+        s.channels.erase(name);
+        s.anyEnabled = s.all || !s.channels.empty();
+    }
+}
+
+void
+setOutput(std::ostream *os)
+{
+    state().out = os != nullptr ? os : &std::cerr;
+}
+
+void
+setTickSource(std::function<Tick()> source)
+{
+    state().tickSource = std::move(source);
+}
+
+void
+initFromEnvironment()
+{
+    loadEnvOnce();
+}
+
+namespace detail {
+
+void
+emit(const std::string &channel, const std::string &message)
+{
+    TraceState &s = state();
+    std::ostream &os = *s.out;
+    os << "[";
+    if (s.tickSource) {
+        os << std::setw(9) << s.tickSource();
+    } else {
+        os << std::setw(9) << "-";
+    }
+    os << "] " << channel << ": " << message << "\n";
+}
+
+} // namespace detail
+} // namespace csb::sim::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every csbsim library.
+ */
+
+#ifndef CSB_SIM_TYPES_HH
+#define CSB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace csb {
+
+/** Simulation time, measured in CPU clock cycles. */
+using Tick = std::uint64_t;
+
+/** A tick value that is never reached; used as "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Physical / virtual address. The simulator uses a flat 64-bit space. */
+using Addr = std::uint64_t;
+
+/** Process (address-space) identifier, as held in a privileged register. */
+using ProcId = std::uint16_t;
+
+/** Identifier of a bus master port. */
+using MasterId = std::uint16_t;
+
+/**
+ * Round @p value up to the next multiple of @p align.
+ * @pre align is a power of two.
+ */
+constexpr Addr
+roundUp(Addr value, Addr align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/**
+ * Round @p value down to the previous multiple of @p align.
+ * @pre align is a power of two.
+ */
+constexpr Addr
+roundDown(Addr value, Addr align)
+{
+    return value & ~(align - 1);
+}
+
+/** @return true when @p value is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace csb
+
+#endif // CSB_SIM_TYPES_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the experiment-runner layer itself: scheme helpers, sweep
+ * structure, table formatting, config printing, and the message-
+ * latency harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_printer.hh"
+#include "core/experiments.hh"
+
+namespace {
+
+using namespace csb;
+using core::BandwidthSetup;
+using core::Scheme;
+
+TEST(Experiments, SchemeHelpers)
+{
+    EXPECT_EQ(core::schemeName(Scheme::NoCombine), "no-comb");
+    EXPECT_EQ(core::schemeName(Scheme::Csb), "CSB");
+    EXPECT_EQ(core::schemeCombineBytes(Scheme::NoCombine), 0u);
+    EXPECT_EQ(core::schemeCombineBytes(Scheme::Combine32), 32u);
+    EXPECT_EQ(core::schemeCombineBytes(Scheme::Csb), 0u);
+}
+
+TEST(Experiments, SchemesForLineScaleWithLine)
+{
+    auto s32 = core::schemesForLine(32);
+    ASSERT_EQ(s32.size(), 4u);
+    EXPECT_EQ(s32.front(), Scheme::NoCombine);
+    EXPECT_EQ(s32.back(), Scheme::Csb);
+    auto s128 = core::schemesForLine(128);
+    EXPECT_EQ(s128.size(), 6u);
+}
+
+TEST(Experiments, DefaultTransferSizesMatchPaperAxis)
+{
+    auto sizes = core::defaultTransferSizes();
+    EXPECT_EQ(sizes.front(), 16u);
+    EXPECT_EQ(sizes.back(), 1024u);
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+TEST(Experiments, SweepHasFullMatrix)
+{
+    BandwidthSetup setup;
+    setup.bus.ratio = 6;
+    setup.lineBytes = 64;
+    std::vector<unsigned> sizes = {16, 64};
+    std::vector<Scheme> schemes = {Scheme::NoCombine, Scheme::Csb};
+    core::BandwidthSweep sweep =
+        core::runBandwidthSweep("test", setup, schemes, sizes);
+    ASSERT_EQ(sweep.bandwidth.size(), 2u);
+    ASSERT_EQ(sweep.bandwidth[0].size(), 2u);
+    for (const auto &row : sweep.bandwidth) {
+        for (double bw : row)
+            EXPECT_GT(bw, 0.0);
+    }
+}
+
+TEST(Experiments, PrintSweepIsATable)
+{
+    BandwidthSetup setup;
+    core::BandwidthSweep sweep = core::runBandwidthSweep(
+        "unit-test panel", setup, {Scheme::NoCombine}, {16, 32});
+    std::ostringstream os;
+    core::printSweep(sweep, os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("unit-test panel"), std::string::npos);
+    EXPECT_NE(text.find("no-comb"), std::string::npos);
+    EXPECT_NE(text.find("16"), std::string::npos);
+    EXPECT_NE(text.find("bytes per bus cycle"), std::string::npos);
+}
+
+TEST(Experiments, LatencySweepShapes)
+{
+    BandwidthSetup setup;
+    core::LatencySweep sweep =
+        core::runLatencySweep("fig5 unit", setup, /*lock_miss=*/false);
+    ASSERT_EQ(sweep.dwords.size(), 7u);
+    ASSERT_EQ(sweep.cycles.size(), sweep.schemes.size());
+    // Last scheme is the CSB and must be cheapest everywhere.
+    const auto &csb_row = sweep.cycles.back();
+    for (std::size_t i = 0; i + 1 < sweep.schemes.size(); ++i) {
+        for (std::size_t j = 0; j < sweep.dwords.size(); ++j)
+            EXPECT_LT(csb_row[j], sweep.cycles[i][j]);
+    }
+    std::ostringstream os;
+    core::printLatencySweep(sweep, os);
+    EXPECT_NE(os.str().find("lock+no-comb"), std::string::npos);
+}
+
+TEST(Experiments, MessageLatencyOrdering)
+{
+    BandwidthSetup setup;
+    core::MessageLatency small = core::measureMessageLatency(setup, 32);
+    EXPECT_LT(small.pioLockedCycles, small.dmaCycles)
+        << "PIO beats DMA for short messages";
+    core::MessageLatency large =
+        core::measureMessageLatency(setup, 2048);
+    EXPECT_LT(large.dmaCycles, large.pioLockedCycles)
+        << "DMA beats conventional PIO for large messages";
+    EXPECT_LT(large.pioCsbCycles, large.dmaCycles)
+        << "the CSB keeps PIO ahead of DMA (section 5)";
+}
+
+TEST(Experiments, ConfigPrinterMentionsEverything)
+{
+    core::SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.enableNi = true;
+    cfg.csb.numLineBuffers = 2;
+    cfg.normalize();
+    std::ostringstream os;
+    core::printConfig(cfg, os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("cores                : 2"), std::string::npos);
+    EXPECT_NE(text.find("multiplexed"), std::string::npos);
+    EXPECT_NE(text.find("2 line buffer"), std::string::npos);
+    EXPECT_NE(text.find("network interface"), std::string::npos);
+    EXPECT_NE(text.find("TLB"), std::string::npos);
+}
+
+TEST(Experiments, ConfigPrinterDisabledCsb)
+{
+    core::SystemConfig cfg;
+    cfg.enableCsb = false;
+    cfg.normalize();
+    std::ostringstream os;
+    core::printConfig(cfg, os);
+    EXPECT_NE(os.str().find("conditional store buf: disabled"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden-value regression tests: the exact bandwidth/latency numbers
+ * the deterministic simulator currently produces for key points of
+ * every figure.  A change to any timing-relevant component that moves
+ * these numbers is caught here; update the constants deliberately
+ * (and re-derive EXPERIMENTS.md) when the model is intentionally
+ * changed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+
+namespace {
+
+using namespace csb;
+using core::BandwidthSetup;
+using core::Scheme;
+
+BandwidthSetup
+mux(unsigned ratio, unsigned line, unsigned turnaround = 0,
+    unsigned ack = 0)
+{
+    BandwidthSetup setup;
+    setup.bus.kind = bus::BusKind::Multiplexed;
+    setup.bus.widthBytes = 8;
+    setup.bus.ratio = ratio;
+    setup.bus.turnaround = turnaround;
+    setup.bus.ackDelay = ack;
+    setup.lineBytes = line;
+    return setup;
+}
+
+BandwidthSetup
+split(unsigned width, unsigned turnaround = 0, unsigned ack = 0)
+{
+    BandwidthSetup setup;
+    setup.bus.kind = bus::BusKind::Split;
+    setup.bus.widthBytes = width;
+    setup.bus.ratio = 6;
+    setup.bus.turnaround = turnaround;
+    setup.bus.ackDelay = ack;
+    setup.lineBytes = 64;
+    return setup;
+}
+
+double
+bw(const BandwidthSetup &setup, Scheme scheme, unsigned bytes)
+{
+    return core::measureStoreBandwidth(setup, scheme, bytes);
+}
+
+TEST(Golden, Figure3Panels)
+{
+    // Fig 3(b): ratio 6, 32B line.
+    EXPECT_NEAR(bw(mux(6, 32), Scheme::NoCombine, 1024), 4.00, 0.005);
+    EXPECT_NEAR(bw(mux(6, 32), Scheme::Combine16, 1024), 5.31, 0.005);
+    EXPECT_NEAR(bw(mux(6, 32), Scheme::Combine32, 1024), 6.32, 0.005);
+    EXPECT_NEAR(bw(mux(6, 32), Scheme::Csb, 1024), 6.40, 0.005);
+    EXPECT_NEAR(bw(mux(6, 32), Scheme::Csb, 16), 3.20, 0.005);
+
+    // Fig 3(e): 64B line.
+    EXPECT_NEAR(bw(mux(6, 64), Scheme::Csb, 64), 7.11, 0.005);
+    EXPECT_NEAR(bw(mux(6, 64), Scheme::Csb, 16), 1.78, 0.005);
+    EXPECT_NEAR(bw(mux(6, 64), Scheme::Combine64, 1024), 6.97, 0.005);
+
+    // Fig 3(f): 128B line.
+    EXPECT_NEAR(bw(mux(6, 128), Scheme::Csb, 1024), 7.53, 0.005);
+    EXPECT_NEAR(bw(mux(6, 128), Scheme::Combine128, 1024), 7.21, 0.01);
+
+    // Fig 3(g): turnaround.
+    EXPECT_NEAR(bw(mux(6, 64, 1), Scheme::NoCombine, 1024), 2.67, 0.005);
+    EXPECT_NEAR(bw(mux(6, 64, 1), Scheme::Csb, 1024), 6.44, 0.005);
+
+    // Fig 3(h)/(i): fixed-delay acknowledgments.
+    EXPECT_NEAR(bw(mux(6, 64, 0, 4), Scheme::NoCombine, 1024), 2.01,
+                0.005);
+    EXPECT_NEAR(bw(mux(6, 64, 0, 4), Scheme::Csb, 1024), 7.11, 0.005);
+    EXPECT_NEAR(bw(mux(6, 64, 0, 8), Scheme::NoCombine, 1024), 1.01,
+                0.005);
+    EXPECT_NEAR(bw(mux(6, 64, 0, 8), Scheme::Csb, 1024), 7.11, 0.005);
+}
+
+TEST(Golden, Figure4Panels)
+{
+    // Fig 4(a): 128-bit split bus.
+    EXPECT_NEAR(bw(split(16), Scheme::NoCombine, 1024), 8.00, 0.005);
+    EXPECT_NEAR(bw(split(16), Scheme::Csb, 1024), 16.00, 0.005);
+    // Fig 4(b): 256-bit split bus.
+    EXPECT_NEAR(bw(split(32), Scheme::NoCombine, 1024), 8.00, 0.005);
+    EXPECT_NEAR(bw(split(32), Scheme::Csb, 1024), 32.00, 0.005);
+    // Fig 4(d): ack 4 -- only the CSB hides the acknowledgment.
+    EXPECT_NEAR(bw(split(16, 0, 4), Scheme::Csb, 1024), 16.00, 0.005);
+    EXPECT_NEAR(bw(split(16, 0, 4), Scheme::NoCombine, 1024), 2.01,
+                0.005);
+    // Fig 4(e): ack 8 affects everyone.
+    EXPECT_NEAR(bw(split(16, 0, 8), Scheme::Csb, 1024), 8.26, 0.005);
+}
+
+TEST(Golden, Figure5Latencies)
+{
+    BandwidthSetup setup = mux(6, 64);
+    // Lock hit, no combining: 55 + 12 per extra dword.
+    EXPECT_EQ(core::measureLockedSequence(setup, Scheme::NoCombine, 2,
+                                          false), 55.0);
+    EXPECT_EQ(core::measureLockedSequence(setup, Scheme::NoCombine, 8,
+                                          false), 127.0);
+    // Lock miss shifts the curve up by ~96 cycles.
+    EXPECT_EQ(core::measureLockedSequence(setup, Scheme::NoCombine, 2,
+                                          true), 151.0);
+    // CSB: 26 + 1 per extra dword, hit or miss alike.
+    EXPECT_EQ(core::measureCsbSequence(setup, 2), 26.0);
+    EXPECT_EQ(core::measureCsbSequence(setup, 8), 32.0);
+}
+
+} // namespace

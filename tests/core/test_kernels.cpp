@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structural tests of the microbenchmark kernel generators: the code
+ * they emit must match the paper's described sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/kernels.hh"
+#include "isa/instruction.hh"
+
+namespace {
+
+using namespace csb;
+using isa::InstClass;
+using isa::Opcode;
+
+unsigned
+countClass(const isa::Program &p, InstClass cls)
+{
+    unsigned n = 0;
+    for (const auto &inst : p.code()) {
+        if (inst.instClass() == cls)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+countOp(const isa::Program &p, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &inst : p.code()) {
+        if (inst.op == op)
+            ++n;
+    }
+    return n;
+}
+
+TEST(Kernels, StoreKernelShape)
+{
+    isa::Program p = core::makeStoreKernel(0x1000, 256);
+    EXPECT_EQ(countClass(p, InstClass::Store), 32u) << "256B = 32 dwords";
+    EXPECT_EQ(countOp(p, Opcode::Membar), 1u);
+    EXPECT_EQ(countClass(p, InstClass::Mark), 2u);
+    EXPECT_EQ(p.code().back().op, Opcode::Halt);
+}
+
+TEST(Kernels, CsbKernelOneFlushPerLine)
+{
+    isa::Program p = core::makeCsbStoreKernel(0x1000, 256, 64);
+    EXPECT_EQ(countClass(p, InstClass::Swap), 4u) << "one flush per line";
+    EXPECT_EQ(countClass(p, InstClass::Store), 32u);
+    EXPECT_EQ(countClass(p, InstClass::Branch), 4u) << "one retry check";
+}
+
+TEST(Kernels, CsbKernelPartialLastGroup)
+{
+    // 80 bytes at 64B lines: one full line + a 2-dword group.
+    isa::Program p = core::makeCsbStoreKernel(0x1000, 80, 64);
+    EXPECT_EQ(countClass(p, InstClass::Swap), 2u);
+    EXPECT_EQ(countClass(p, InstClass::Store), 10u);
+}
+
+TEST(Kernels, LockedKernelHasAcquireStoresDrainRelease)
+{
+    isa::Program p = core::makeLockedStoreKernel(0x4000, 0x1000, 4);
+    EXPECT_EQ(countClass(p, InstClass::Swap), 1u) << "the lock acquire";
+    // 4 payload stores + 1 release store.
+    EXPECT_EQ(countClass(p, InstClass::Store), 5u);
+    EXPECT_EQ(countOp(p, Opcode::Membar), 2u)
+        << "separating lock/stores and stores/release (paper 4.2)";
+}
+
+TEST(Kernels, ShuffledKernelSameStoresDifferentOrder)
+{
+    isa::Program seq = core::makeStoreKernel(0x1000, 128);
+    isa::Program shuf = core::makeShuffledStoreKernel(0x1000, 128, 64, 7);
+    // Same multiset of store offsets...
+    std::vector<std::int64_t> a;
+    std::vector<std::int64_t> b;
+    std::vector<std::int64_t> b_order;
+    for (const auto &inst : seq.code()) {
+        if (inst.instClass() == InstClass::Store)
+            a.push_back(inst.imm);
+    }
+    for (const auto &inst : shuf.code()) {
+        if (inst.instClass() == InstClass::Store) {
+            b.push_back(inst.imm);
+            b_order.push_back(inst.imm);
+        }
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    // ...but not in ascending order.
+    EXPECT_FALSE(std::is_sorted(b_order.begin(), b_order.end()));
+}
+
+TEST(Kernels, ShuffleIsDeterministicPerSeed)
+{
+    isa::Program a = core::makeShuffledStoreKernel(0x1000, 128, 64, 9);
+    isa::Program b = core::makeShuffledStoreKernel(0x1000, 128, 64, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).op, b.at(i).op);
+        EXPECT_EQ(a.at(i).imm, b.at(i).imm);
+    }
+}
+
+TEST(Kernels, BackoffKernelContainsDelayLoop)
+{
+    isa::Program p =
+        core::makeCsbStoreKernelWithBackoff(0x1000, 64, 64, 32);
+    EXPECT_GE(countClass(p, InstClass::Branch), 3u)
+        << "retry check, delay loop, cap check";
+    EXPECT_EQ(countOp(p, Opcode::Slli), 1u) << "the backoff doubling";
+}
+
+TEST(Kernels, FallbackKernelHasLockPath)
+{
+    isa::Program p = core::makeCsbStoreKernelWithFallback(
+        0x1000, 0x2000, 0x4000, 64, 64, 3);
+    EXPECT_EQ(countClass(p, InstClass::Swap), 2u)
+        << "conditional flush plus lock acquire";
+    EXPECT_EQ(countOp(p, Opcode::Membar), 2u);
+    // 8 CSB stores + 8 fallback stores + release.
+    EXPECT_EQ(countClass(p, InstClass::Store), 17u);
+}
+
+TEST(Kernels, RejectsDegenerateShapes)
+{
+    EXPECT_DEATH(core::makeStoreKernel(0x1000, 0), "dword multiple");
+    EXPECT_DEATH(core::makeStoreKernel(0x1000, 12), "dword multiple");
+    EXPECT_DEATH(core::makeCsbSequenceKernel(0x1000, 0), "at least one");
+}
+
+} // namespace

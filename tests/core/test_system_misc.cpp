@@ -1,0 +1,166 @@
+/**
+ * @file
+ * System-level plumbing tests: address map, run semantics, stats
+ * dumping, configuration validation, and system reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kernels.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace csb;
+using core::System;
+using core::SystemConfig;
+using isa::ir;
+
+TEST(SystemMisc, AddressMapAttributes)
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    auto &pt = system.pageTable();
+    EXPECT_EQ(pt.attrOf(System::ramBase + 0x1234), mem::PageAttr::Cached);
+    EXPECT_EQ(pt.attrOf(System::ioUncachedBase),
+              mem::PageAttr::Uncached);
+    EXPECT_EQ(pt.attrOf(System::ioAccelBase),
+              mem::PageAttr::UncachedAccelerated);
+    EXPECT_EQ(pt.attrOf(System::ioCsbBase),
+              mem::PageAttr::UncachedCombining);
+}
+
+TEST(SystemMisc, CsbDisabledDowngradesCombiningSpace)
+{
+    SystemConfig cfg;
+    cfg.enableCsb = false;
+    cfg.normalize();
+    System system(cfg);
+    EXPECT_EQ(system.pageTable().attrOf(System::ioCsbBase),
+              mem::PageAttr::UncachedAccelerated);
+    EXPECT_EQ(system.csb(), nullptr);
+}
+
+TEST(SystemMisc, RunTimesOutOnNonHaltingProgram)
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p;
+    isa::Label forever = p.newLabel();
+    p.bind(forever);
+    p.jmp(forever);
+    p.halt();
+    p.finalize();
+    EXPECT_THROW(system.run(p, 1, /*max_ticks=*/2000), FatalError);
+}
+
+TEST(SystemMisc, SystemIsReusableAcrossRuns)
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p = core::makeStoreKernel(System::ioUncachedBase, 64);
+    system.run(p);
+    std::size_t first = system.device().writeLog().size();
+    system.core().clearMarks();
+    system.run(p);
+    EXPECT_EQ(system.device().writeLog().size(), 2 * first)
+        << "a second run adds the same traffic again";
+}
+
+TEST(SystemMisc, StatsDumpCoversComponents)
+{
+    SystemConfig cfg;
+    cfg.enableNi = true;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p = core::makeCsbStoreKernel(System::ioCsbBase, 64, 64);
+    system.run(p);
+    std::ostringstream os;
+    system.dumpStats(os);
+    std::string text = os.str();
+    for (const char *needle :
+         {"system.cpu.instsRetired", "system.bus.numWrites",
+          "system.csb.flushesSucceeded", "system.ubuf.storesPushed",
+          "system.tlb.hits", "system.caches.l1.hits",
+          "system.dev.bytesReceived", "system.ni.pioMessages"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(SystemMisc, InvalidConfigsAreFatal)
+{
+    {
+        SystemConfig cfg;
+        cfg.numCores = 0;
+        EXPECT_THROW(cfg.normalize(), FatalError);
+    }
+    {
+        SystemConfig cfg;
+        cfg.bus.widthBytes = 12; // not a power of two
+        EXPECT_THROW(cfg.normalize(), FatalError);
+    }
+    {
+        SystemConfig cfg;
+        cfg.lineBytes = 32;
+        cfg.ubuf.combineBytes = 64; // combine block > line
+        EXPECT_THROW(cfg.normalize(), FatalError);
+    }
+    {
+        SystemConfig cfg;
+        cfg.csb.numLineBuffers = 9;
+        EXPECT_THROW(cfg.normalize(), FatalError);
+    }
+}
+
+TEST(SystemMisc, MissesRoutedOverBusShareIt)
+{
+    // With routeMissesOverBus, a cache miss creates visible read
+    // traffic on the system bus.
+    SystemConfig cfg;
+    cfg.routeMissesOverBus = true;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.ldd(ir(2), ir(1), 0);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_GE(system.bus().numReads.value(), 1.0);
+    std::size_t line_reads = system.bus().monitor().count(
+        [](const bus::TxnRecord &rec) {
+            return rec.kind == bus::TxnKind::ReadReq && rec.size == 64;
+        });
+    EXPECT_GE(line_reads, 1u);
+}
+
+TEST(SystemMisc, MarkTimesAreMonotonic)
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p;
+    for (int i = 0; i < 5; ++i) {
+        p.mark(i);
+        p.li(ir(1), i);
+    }
+    p.halt();
+    p.finalize();
+    system.run(p);
+    Tick previous = 0;
+    for (int i = 0; i < 5; ++i) {
+        Tick t = system.core().markTime(i);
+        ASSERT_NE(t, maxTick);
+        EXPECT_GE(t, previous);
+        previous = t;
+    }
+    EXPECT_EQ(system.core().markTime(99), maxTick);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the application-traffic workload module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/workloads.hh"
+
+namespace {
+
+using namespace csb;
+using core::MessageSizeDistribution;
+
+TEST(Workloads, FixedDistribution)
+{
+    auto sizes =
+        core::drawSizes(MessageSizeDistribution::fixed(96), 10);
+    ASSERT_EQ(sizes.size(), 10u);
+    for (unsigned size : sizes)
+        EXPECT_EQ(size, 96u);
+}
+
+TEST(Workloads, ScientificStaysInCitedRange)
+{
+    auto sizes =
+        core::drawSizes(MessageSizeDistribution::scientific(7), 500);
+    for (unsigned size : sizes) {
+        EXPECT_GE(size, 19u);
+        EXPECT_LE(size, 230u);
+    }
+    // The spread should cover most of the range.
+    unsigned lo = *std::min_element(sizes.begin(), sizes.end());
+    unsigned hi = *std::max_element(sizes.begin(), sizes.end());
+    EXPECT_LT(lo, 40u);
+    EXPECT_GT(hi, 200u);
+}
+
+TEST(Workloads, BimodalMixesBothModes)
+{
+    auto sizes = core::drawSizes(
+        MessageSizeDistribution::bimodal(32, 512, 0.8, 9), 500);
+    unsigned small = 0;
+    unsigned large = 0;
+    for (unsigned size : sizes) {
+        if (size == 32)
+            ++small;
+        else if (size == 512)
+            ++large;
+        else
+            FAIL() << "unexpected size " << size;
+    }
+    EXPECT_GT(small, 300u);
+    EXPECT_GT(large, 50u);
+}
+
+TEST(Workloads, SamplingIsDeterministic)
+{
+    auto a = core::drawSizes(MessageSizeDistribution::scientific(5), 64);
+    auto b = core::drawSizes(MessageSizeDistribution::scientific(5), 64);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Workloads, MessageWorkloadDeliversEverything)
+{
+    core::BandwidthSetup setup;
+    std::vector<unsigned> sizes = {19, 64, 128, 230, 40};
+    for (bool use_csb : {false, true}) {
+        core::AppTrafficResult result =
+            core::runMessageWorkload(setup, use_csb, sizes);
+        EXPECT_EQ(result.messages, 5u);
+        EXPECT_EQ(result.delivered, 5u) << "use_csb=" << use_csb;
+        EXPECT_EQ(result.payloadBytes, 19u + 64 + 128 + 230 + 40);
+        EXPECT_GT(result.cyclesPerMessage, 0.0);
+    }
+}
+
+TEST(Workloads, CsbBeatsLockedPioOnApplicationTraffic)
+{
+    core::BandwidthSetup setup;
+    auto sizes =
+        core::drawSizes(MessageSizeDistribution::scientific(11), 16);
+    core::AppTrafficResult locked =
+        core::runMessageWorkload(setup, false, sizes);
+    core::AppTrafficResult via_csb =
+        core::runMessageWorkload(setup, true, sizes);
+    EXPECT_LT(via_csb.cyclesPerMessage, locked.cyclesPerMessage);
+}
+
+} // namespace

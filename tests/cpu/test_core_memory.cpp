@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Memory-path corner cases in the core: atomic swap in plain
+ * uncached space, FP loads/stores, forwarding restrictions, and
+ * ordering of mixed cached/uncached traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/system.hh"
+#include "isa/program.hh"
+
+namespace {
+
+using namespace csb;
+using core::System;
+using core::SystemConfig;
+using isa::fr;
+using isa::ir;
+
+SystemConfig
+defaultConfig()
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    return cfg;
+}
+
+TEST(CoreMemory, UncachedSwapIsAtomicOverTheBus)
+{
+    // A swap to plain uncached space performs a bus read followed by
+    // a bus write, returning the device's old value.
+    System system(defaultConfig());
+    system.device().setRegister(System::ioUncachedBase + 0x100, 77);
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioUncachedBase + 0x100));
+    p.li(ir(2), 99);
+    p.swap(ir(2), ir(1), 0);
+    p.membar();
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_EQ(system.core().archState().intRegs[2], 77u)
+        << "swap returns the device's old value";
+    // The device received the new value as a write.
+    ASSERT_GE(system.device().writeLog().size(), 1u);
+    std::uint64_t written = 0;
+    std::memcpy(&written, system.device().writeLog().back().data.data(),
+                8);
+    EXPECT_EQ(written, 99u);
+    // And both a read and a write crossed the bus.
+    EXPECT_GE(system.bus().numReads.value(), 1.0);
+    EXPECT_GE(system.bus().numWrites.value(), 1.0);
+}
+
+TEST(CoreMemory, FpRegistersMoveThroughMemory)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.li(ir(2), 3);
+    p.mvi2f(fr(0), ir(2));
+    p.fitod(fr(1), fr(0));
+    p.stf(fr(1), ir(1), 0);  // store the double 3.0
+    p.ldf(fr(2), ir(1), 0);  // load it back
+    p.mvf2i(ir(3), fr(2));
+    p.halt();
+    p.finalize();
+    system.run(p);
+    double value;
+    std::uint64_t bits = system.core().archState().intRegs[3];
+    std::memcpy(&value, &bits, 8);
+    EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+TEST(CoreMemory, FpStoresToCsbSpaceCombine)
+{
+    // The paper's listing stores FP registers (std %f0) -- FP data
+    // must flow into the CSB exactly like integer data.
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioCsbBase));
+    p.li(ir(2), 0x4008000000000000LL); // bits of 3.0
+    p.mvi2f(fr(0), ir(2));
+    isa::Label retry = p.newLabel();
+    p.bind(retry);
+    p.li(ir(9), 2);
+    p.stf(fr(0), ir(1), 0);
+    p.stf(fr(0), ir(1), 8);
+    p.swap(ir(9), ir(1), 0);
+    p.li(ir(10), 2);
+    p.bne(ir(9), ir(10), retry);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    ASSERT_EQ(system.device().writeLog().size(), 1u);
+    std::uint64_t dword = 0;
+    std::memcpy(&dword, system.device().writeLog()[0].data.data(), 8);
+    EXPECT_EQ(dword, 0x4008000000000000ULL);
+}
+
+TEST(CoreMemory, NoForwardingFromUncachedStoreToLoad)
+{
+    // Uncached data is never forwarded (the load may have side
+    // effects); the load must go all the way to the device, which
+    // here holds a DIFFERENT value than the pending store.
+    System system(defaultConfig());
+    system.device().setRegister(System::ioUncachedBase + 0x40, 0xAAAA);
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioUncachedBase + 0x40));
+    p.li(ir(2), 0xBBBB);
+    p.std_(ir(2), ir(1), 0);
+    p.ldd(ir(3), ir(1), 0);
+    p.membar();
+    p.halt();
+    p.finalize();
+    system.run(p);
+    // FIFO order: the store's write reaches the device before the
+    // load reads it, but the value must come from the DEVICE model
+    // (register value, unaffected by writes in BurstDevice), not from
+    // store forwarding.
+    EXPECT_EQ(system.core().archState().intRegs[3], 0xAAAAu);
+}
+
+TEST(CoreMemory, PartialOverlapStoreBlocksLoadUntilCommit)
+{
+    // A cached word load overlapping a pending dword store of a
+    // different shape cannot forward; it must wait for the store to
+    // commit and then read memory -- and see the stored bytes.
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.li(ir(2), 0x1122334455667788LL);
+    p.std_(ir(2), ir(1), 0);
+    p.ldw(ir(3), ir(1), 4); // upper word of the dword
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_EQ(system.core().archState().intRegs[3], 0x11223344u);
+}
+
+TEST(CoreMemory, MixedCachedAndUncachedOrdering)
+{
+    // Cached traffic does not wait for uncached traffic: the cached
+    // store commits while the uncached store still sits in the
+    // buffer.
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioUncachedBase));
+    p.li(ir(2), 0x9000);
+    p.li(ir(3), 5);
+    p.std_(ir(3), ir(1), 0); // uncached, slow
+    p.std_(ir(3), ir(2), 0); // cached, fast
+    p.ldd(ir(4), ir(2), 0);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_EQ(system.core().archState().intRegs[4], 5u);
+}
+
+TEST(CoreMemory, MisalignedAccessIsFatal)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0x8004);
+    p.ldd(ir(2), ir(1), 0); // 8-byte load at 4-byte alignment
+    p.halt();
+    p.finalize();
+    EXPECT_THROW(system.run(p), FatalError);
+}
+
+TEST(CoreMemory, CsbStoresInRandomOrderSameLine)
+{
+    // "Note that combining stores can be issued in any order" --
+    // section 3.2.  Shuffled offsets must produce the identical
+    // committed line.
+    auto run_order = [](const std::vector<unsigned> &order) {
+        SystemConfig cfg;
+        cfg.normalize();
+        System system(cfg);
+        isa::Program p;
+        p.li(ir(1), static_cast<std::int64_t>(System::ioCsbBase));
+        for (int r = 2; r <= 8; ++r)
+            p.li(ir(r), 0x0101010101010101ULL *
+                             static_cast<unsigned>(r));
+        isa::Label retry = p.newLabel();
+        p.bind(retry);
+        p.li(ir(9), static_cast<std::int64_t>(order.size()));
+        for (unsigned off : order)
+            p.std_(ir(2 + (off / 8) % 7), ir(1), off);
+        p.swap(ir(9), ir(1), 0);
+        p.li(ir(10), static_cast<std::int64_t>(order.size()));
+        p.bne(ir(9), ir(10), retry);
+        p.halt();
+        p.finalize();
+        system.run(p);
+        EXPECT_EQ(system.device().writeLog().size(), 1u);
+        return system.device().writeLog()[0].data;
+    };
+
+    auto in_order = run_order({0, 8, 16, 24, 32, 40, 48, 56});
+    auto shuffled = run_order({40, 0, 56, 16, 8, 48, 24, 32});
+    EXPECT_EQ(in_order, shuffled);
+}
+
+TEST(CoreMemory, ContextSwitchDuringCacheMissIsSafe)
+{
+    // A pending cache-miss callback from a squashed context must be
+    // dropped (epoch check), not corrupt the new context.
+    System system(defaultConfig());
+    isa::Program victim;
+    victim.li(ir(1), 0x8000);
+    victim.ldd(ir(2), ir(1), 0); // ~100-cycle miss
+    victim.addi(ir(3), ir(2), 1);
+    victim.halt();
+    victim.finalize();
+
+    isa::Program other;
+    other.li(ir(2), 0xFFFF); // same register the squashed load targets
+    other.li(ir(4), 0x9000);
+    other.std_(ir(2), ir(4), 0);
+    other.halt();
+    other.finalize();
+
+    system.core().loadProgram(&victim, 1);
+    // Let the miss start, then switch away.
+    system.simulator().runFor(10);
+    cpu::ArchState other_state;
+    other_state.pid = 2;
+    bool switched = false;
+    system.core().requestContextSwitch(&other, other_state,
+                                       [&](const cpu::ArchState &) {
+                                           switched = true;
+                                       });
+    system.simulator().run([&] { return system.core().halted(); },
+                           100000);
+    ASSERT_TRUE(switched);
+    EXPECT_EQ(system.memory().readT<std::uint64_t>(0x9000), 0xFFFFu)
+        << "the new context's registers must be untouched by the "
+           "squashed load";
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Timing-behaviour tests of the out-of-order core: issue width,
+ * dependence serialization, uncached retire limiting, and the
+ * non-speculative handling of uncached operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "isa/program.hh"
+
+namespace {
+
+using namespace csb;
+using core::System;
+using core::SystemConfig;
+using isa::ir;
+
+SystemConfig
+defaultConfig()
+{
+    SystemConfig cfg;
+    cfg.normalize();
+    return cfg;
+}
+
+/** Run and return cycles between marks 0 and 1. */
+double
+cyclesBetweenMarks(System &system, const isa::Program &p)
+{
+    system.run(p);
+    Tick t0 = system.core().markTime(0);
+    Tick t1 = system.core().markTime(1);
+    EXPECT_NE(t0, maxTick);
+    EXPECT_NE(t1, maxTick);
+    return static_cast<double>(t1 - t0);
+}
+
+TEST(CoreTiming, IndependentAluOpsRunInParallel)
+{
+    // N independent adds on a 2-wide integer pipe: ~N/2 cycles.
+    // A dependent chain of N adds: ~N cycles.
+    SystemConfig cfg = defaultConfig();
+    System sys_indep(cfg);
+    isa::Program indep;
+    indep.mark(0);
+    for (int i = 0; i < 40; ++i)
+        indep.addi(ir(1 + i % 20), ir(0), i);
+    indep.mark(1);
+    indep.halt();
+    indep.finalize();
+    double t_indep = cyclesBetweenMarks(sys_indep, indep);
+
+    System sys_chain(cfg);
+    isa::Program chain;
+    chain.mark(0);
+    for (int i = 0; i < 40; ++i)
+        chain.addi(ir(1), ir(1), 1);
+    chain.mark(1);
+    chain.halt();
+    chain.finalize();
+    double t_chain = cyclesBetweenMarks(sys_chain, chain);
+
+    EXPECT_LT(t_indep, t_chain * 0.7)
+        << "independent ops must overlap (dep chain " << t_chain
+        << ", independent " << t_indep << ")";
+    EXPECT_GE(t_chain, 40.0) << "a dependence chain is serialized";
+}
+
+TEST(CoreTiming, DependentChainOneOpPerCycle)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0);
+    p.mark(0);
+    for (int i = 0; i < 30; ++i)
+        p.addi(ir(1), ir(1), 1);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    double cycles = cyclesBetweenMarks(system, p);
+    EXPECT_NEAR(cycles, 30.0, 8.0);
+    EXPECT_EQ(system.core().archState().intRegs[1], 30u);
+}
+
+TEST(CoreTiming, UncachedStoresRetireOnePerCycle)
+{
+    // The retire stage admits at most one uncached store per cycle
+    // (the CSB's 1 cycle/dword slope in figure 5 depends on it).
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioCsbBase));
+    p.li(ir(2), 42);
+    p.std_(ir(2), ir(1), 512); // warm the TLB entry for the page
+    p.mark(0);
+    for (int i = 0; i < 8; ++i)
+        p.std_(ir(2), ir(1), i * 8);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    double cycles = cyclesBetweenMarks(system, p);
+    EXPECT_GE(cycles, 8.0);
+    EXPECT_LE(cycles, 14.0);
+}
+
+TEST(CoreTiming, CachedStoresNotRateLimited)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.li(ir(2), 42);
+    p.std_(ir(2), ir(1), 512); // warm the TLB entry for the page
+    p.mark(0);
+    for (int i = 0; i < 8; ++i)
+        p.std_(ir(2), ir(1), i * 8);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    double cycles = cyclesBetweenMarks(system, p);
+    EXPECT_LE(cycles, 7.0)
+        << "cached stores retire up to 4/cycle, uncached 1/cycle";
+}
+
+TEST(CoreTiming, UncachedLoadBlocksUntilBusReturns)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioUncachedBase));
+    p.mark(0);
+    p.ldd(ir(2), ir(1), 0);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    double cycles = cyclesBetweenMarks(system, p);
+    // Bus read round trip at ratio 6 with a 12-tick device: >= 24.
+    EXPECT_GE(cycles, 24.0);
+}
+
+TEST(CoreTiming, CachedLoadMissCostsAboutHundredCycles)
+{
+    // Serialize the final mark behind the load value with a branch so
+    // the measured interval includes the full miss.
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.mark(0);
+    p.ldd(ir(2), ir(1), 0);
+    p.addi(ir(3), ir(2), 1);
+    isa::Label done = p.newLabel();
+    p.bge(ir(3), ir(0), done); // data-dependent, stalls fetch
+    p.bind(done);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    System system(defaultConfig());
+    double miss = cyclesBetweenMarks(system, p);
+    EXPECT_GT(miss, 80.0);
+    EXPECT_LT(miss, 130.0);
+}
+
+TEST(CoreTiming, WarmLoadIsFast)
+{
+    System system(defaultConfig());
+    system.caches().touch(0x8000);
+    system.caches().touch(0x8200);
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.ldd(ir(9), ir(1), 0x200); // warm the TLB entry for the page
+    p.mark(0);
+    p.ldd(ir(2), ir(1), 0);
+    p.addi(ir(3), ir(2), 1);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    double cycles = cyclesBetweenMarks(system, p);
+    EXPECT_LT(cycles, 15.0);
+}
+
+TEST(CoreTiming, CsbStoresStallOnBusyLineBuffer)
+{
+    // After a flush, the single line buffer holds the data until the
+    // bus takes it; immediately following combining stores stall.
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), static_cast<std::int64_t>(System::ioCsbBase));
+    p.li(ir(2), 1);
+    p.li(ir(9), 1);
+    p.std_(ir(2), ir(1), 0);
+    p.swap(ir(9), ir(1), 0);
+    p.mark(0);
+    p.std_(ir(2), ir(1), 64); // stalls until line 0 is handed over
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_GT(system.core().csbStoreStallCycles.value(), 0.0);
+}
+
+TEST(CoreTiming, WindowLimitsInFlightInstructions)
+{
+    SystemConfig cfg = defaultConfig();
+    cfg.core.windowSize = 8;
+    cfg.normalize();
+    System system(cfg);
+    isa::Program p;
+    p.mark(0);
+    for (int i = 0; i < 64; ++i)
+        p.addi(ir(1 + i % 8), ir(0), i);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_GT(system.core().windowFullStallCycles.value(), 0.0);
+}
+
+TEST(CoreTiming, DataDependentBranchStallsFetch)
+{
+    System system(defaultConfig());
+    isa::Program p;
+    p.li(ir(1), 0x8000);
+    p.mark(0);
+    p.ldd(ir(2), ir(1), 0); // cold miss: ~100 cycles
+    isa::Label target = p.newLabel();
+    p.beq(ir(2), ir(0), target); // depends on the load
+    p.bind(target);
+    p.mark(1);
+    p.halt();
+    p.finalize();
+    system.run(p);
+    EXPECT_GT(system.core().branchFetchStallCycles.value(), 20.0);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the sequential reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/interpreter.hh"
+#include "isa/program.hh"
+#include "mem/physical_memory.hh"
+
+namespace {
+
+using namespace csb;
+using cpu::ArchState;
+using cpu::Interpreter;
+using isa::ir;
+
+TEST(Interpreter, AluAndControlFlow)
+{
+    isa::Program p;
+    p.li(ir(1), 0);
+    p.li(ir(2), 0);
+    p.li(ir(3), 5);
+    isa::Label loop = p.newLabel();
+    p.bind(loop);
+    p.add_(ir(1), ir(1), ir(2));
+    p.addi(ir(2), ir(2), 1);
+    p.blt(ir(2), ir(3), loop);
+    p.halt();
+    p.finalize();
+
+    mem::PhysicalMemory memory;
+    Interpreter interp(p, memory);
+    ArchState state = interp.run();
+    EXPECT_TRUE(state.halted);
+    EXPECT_EQ(state.intRegs[1], 10u);
+    EXPECT_EQ(interp.instsExecuted(), 3u + 3 * 5 + 1);
+}
+
+TEST(Interpreter, MemoryAndSwap)
+{
+    isa::Program p;
+    p.li(ir(1), 0x1000);
+    p.li(ir(2), 42);
+    p.std_(ir(2), ir(1), 0);
+    p.li(ir(3), 7);
+    p.swap(ir(3), ir(1), 0);
+    p.ldd(ir(4), ir(1), 0);
+    p.halt();
+    p.finalize();
+
+    mem::PhysicalMemory memory;
+    ArchState state = Interpreter(p, memory).run();
+    EXPECT_EQ(state.intRegs[3], 42u) << "swap returned the old value";
+    EXPECT_EQ(state.intRegs[4], 7u) << "memory holds the swapped value";
+}
+
+TEST(Interpreter, MarksInCommitOrder)
+{
+    isa::Program p;
+    p.mark(3);
+    p.mark(1);
+    p.mark(2);
+    p.halt();
+    p.finalize();
+    mem::PhysicalMemory memory;
+    Interpreter interp(p, memory);
+    interp.run();
+    EXPECT_EQ(interp.marks(),
+              (std::vector<std::int64_t>{3, 1, 2}));
+}
+
+TEST(Interpreter, StepLimitStopsRunawayLoops)
+{
+    isa::Program p;
+    isa::Label forever = p.newLabel();
+    p.bind(forever);
+    p.jmp(forever);
+    p.halt();
+    p.finalize();
+    mem::PhysicalMemory memory;
+    Interpreter interp(p, memory);
+    ArchState state = interp.run(100);
+    EXPECT_FALSE(state.halted);
+    EXPECT_EQ(interp.instsExecuted(), 100u);
+}
+
+TEST(Interpreter, SubWordAccesses)
+{
+    isa::Program p;
+    p.li(ir(1), 0x2000);
+    p.li(ir(2), 0x11223344AABBCCDDLL);
+    p.std_(ir(2), ir(1), 0);
+    p.ldb(ir(3), ir(1), 0); // little-endian low byte
+    p.ldw(ir(4), ir(1), 4); // upper word
+    p.halt();
+    p.finalize();
+    mem::PhysicalMemory memory;
+    ArchState state = Interpreter(p, memory).run();
+    EXPECT_EQ(state.intRegs[3], 0xDDu);
+    EXPECT_EQ(state.intRegs[4], 0x11223344u);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the text assembler: syntax coverage, label handling,
+ * error reporting, and an end-to-end run of assembled code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace csb;
+using isa::assemble;
+using isa::Opcode;
+using isa::Program;
+
+TEST(Assembler, BasicAluAndComments)
+{
+    Program p = assemble(R"(
+        ; a comment
+        li   %r1, 10        # another comment
+        li   %r2, 0x20
+        add  %r3, %r1, %r2
+        addi %r4, %r3, -5
+        halt
+    )");
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(0).op, Opcode::Li);
+    EXPECT_EQ(p.at(1).imm, 0x20);
+    EXPECT_EQ(p.at(2).op, Opcode::Add);
+    EXPECT_EQ(p.at(3).op, Opcode::Addi);
+    EXPECT_EQ(p.at(3).imm, -5);
+}
+
+TEST(Assembler, ImmediateFormSelectedAutomatically)
+{
+    Program p = assemble(R"(
+        add %r1, %r2, %r3
+        add %r1, %r2, 7
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::Add);
+    EXPECT_EQ(p.at(1).op, Opcode::Addi);
+    EXPECT_EQ(p.at(1).imm, 7);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble(R"(
+        ldd  %r2, [%r1+8]
+        std  %r2, [%r1]
+        stb  %r3, [%r1-4]
+        swap [%r1+16], %r5
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::Ldd);
+    EXPECT_EQ(p.at(0).imm, 8);
+    EXPECT_EQ(p.at(1).imm, 0);
+    EXPECT_EQ(p.at(2).imm, -4);
+    EXPECT_EQ(p.at(3).op, Opcode::Swap);
+    EXPECT_EQ(p.at(3).imm, 16);
+    EXPECT_EQ(p.at(3).rd, isa::ir(5));
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    Program p = assemble(R"(
+        start:  addi %r1, %r1, 1
+                blt  %r1, %r2, start
+                jmp  end
+                nop
+        end:    halt
+    )");
+    EXPECT_EQ(p.at(1).target, 0);
+    EXPECT_EQ(p.at(2).target, 4);
+}
+
+TEST(Assembler, LabelSharingLineWithInstruction)
+{
+    Program p = assemble(R"(
+        loop: addi %r1, %r1, 1
+        bne %r1, %r2, loop
+        halt
+    )");
+    EXPECT_EQ(p.at(1).target, 0);
+}
+
+TEST(Assembler, EquConstants)
+{
+    Program p = assemble(R"(
+        .equ DEVICE 0x22000000
+        .equ COUNT 8
+        li  %r1, DEVICE
+        li  %r9, COUNT
+        halt
+    )");
+    EXPECT_EQ(p.at(0).imm, 0x22000000);
+    EXPECT_EQ(p.at(1).imm, 8);
+}
+
+TEST(Assembler, FpInstructions)
+{
+    Program p = assemble(R"(
+        mvi2f %f0, %r1
+        fitod %f1, %f0
+        fadd  %f2, %f1, %f1
+        mvf2i %r2, %f2
+        stf   %f2, [%r3+0]
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::Mvi2f);
+    EXPECT_EQ(p.at(2).op, Opcode::Fadd);
+    EXPECT_EQ(p.at(4).op, Opcode::Stf);
+}
+
+TEST(Assembler, MarkAndMembar)
+{
+    Program p = assemble(R"(
+        mark 0
+        membar
+        mark 1
+        halt
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::Mark);
+    EXPECT_EQ(p.at(1).op, Opcode::Membar);
+    EXPECT_EQ(p.at(2).imm, 1);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("frobnicate %r1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("add %r1, %r2\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("ldd %r1, %r2\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("li %r99, 0\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("jmp nowhere\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("li %r1, 0xZZ\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("x: nop\nx: nop\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("li %r1, UNDEFINED\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, EndToEndCsbSequence)
+{
+    // The paper's section 3.2 listing, in assembler text, runs on a
+    // full system and produces exactly one line burst.
+    core::SystemConfig cfg;
+    cfg.normalize();
+    core::System system(cfg);
+
+    Program p = assemble(R"(
+        .equ CSB_SPACE 0x22000000
+                li   %r1, CSB_SPACE
+                li   %r2, 0x1234
+                li   %r3, 0x5678
+        retry:  li   %r9, 8          ; expected value
+                std  %r2, [%r1]      ; store 8 dwords in any order
+                std  %r3, [%r1+40]
+                std  %r2, [%r1+8]
+                std  %r3, [%r1+16]
+                std  %r2, [%r1+24]
+                std  %r3, [%r1+32]
+                std  %r2, [%r1+48]
+                std  %r3, [%r1+56]
+                swap [%r1], %r9      ; conditional flush
+                li   %r10, 8
+                bne  %r9, %r10, retry ; retry on failure
+                halt
+    )");
+    system.run(p);
+    ASSERT_EQ(system.device().writeLog().size(), 1u);
+    EXPECT_EQ(system.device().writeLog()[0].data.size(), 64u);
+    EXPECT_EQ(system.csb()->flushesSucceeded.value(), 1.0);
+}
+
+TEST(Assembler, RoundTripThroughDisassembler)
+{
+    // Disassembler output mnemonics must all be accepted back.
+    Program original = assemble(R"(
+        li %r1, 5
+        add %r2, %r1, %r1
+        std %r2, [%r1+8]
+        membar
+        halt
+    )");
+    // Spot-check the listing contains re-assemblable text.
+    std::string listing = original.disassemble();
+    EXPECT_NE(listing.find("std %r2, [%r1+8]"), std::string::npos);
+}
+
+} // namespace

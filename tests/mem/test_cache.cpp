@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the cache model and the two-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace csb;
+using mem::Cache;
+using mem::CacheHierarchy;
+using mem::CacheParams;
+
+CacheParams
+tiny(unsigned size, unsigned assoc, unsigned line, Tick lat)
+{
+    CacheParams params;
+    params.sizeBytes = size;
+    params.assoc = assoc;
+    params.lineBytes = line;
+    params.hitLatency = lat;
+    return params;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(tiny(1024, 2, 64, 1), "c");
+    EXPECT_FALSE(cache.access(0x100, false).hit);
+    EXPECT_TRUE(cache.access(0x100, false).hit);
+    EXPECT_TRUE(cache.access(0x13f, false).hit) << "same line";
+    EXPECT_FALSE(cache.access(0x140, false).hit) << "next line";
+    EXPECT_EQ(cache.hits.value(), 2.0);
+    EXPECT_EQ(cache.misses.value(), 2.0);
+}
+
+TEST(Cache, LruReplacementWithinSet)
+{
+    // 2-way, 64B lines, 256B total: 2 sets.  Addresses 0x000, 0x080,
+    // 0x100 map to set 0.
+    Cache cache(tiny(256, 2, 64, 1), "c");
+    cache.access(0x000, false);
+    cache.access(0x080, false);
+    cache.access(0x000, false);           // touch; 0x080 becomes LRU
+    cache.access(0x100, false);           // evicts 0x080
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x080));
+    EXPECT_TRUE(cache.contains(0x100));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache(tiny(128, 1, 64, 1), "c"); // direct-mapped, 2 sets
+    cache.access(0x000, true);             // dirty
+    auto result = cache.access(0x080, false); // same set, evicts
+    EXPECT_TRUE(result.writeback);
+    EXPECT_EQ(result.writebackAddr, 0x000u);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+}
+
+TEST(Cache, CleanEvictionSilent)
+{
+    Cache cache(tiny(128, 1, 64, 1), "c");
+    cache.access(0x000, false);
+    auto result = cache.access(0x080, false);
+    EXPECT_FALSE(result.writeback);
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    Cache cache(tiny(1024, 2, 64, 1), "c");
+    cache.access(0x100, false);
+    cache.invalidate(0x100);
+    EXPECT_FALSE(cache.contains(0x100));
+    cache.access(0x100, false);
+    cache.access(0x200, false);
+    cache.flushAll();
+    EXPECT_FALSE(cache.contains(0x100));
+    EXPECT_FALSE(cache.contains(0x200));
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    EXPECT_THROW(Cache(tiny(100, 3, 64, 1), "c"), FatalError);
+    EXPECT_THROW(Cache(tiny(1024, 2, 48, 1), "c"), FatalError);
+}
+
+TEST(Hierarchy, LatenciesStack)
+{
+    CacheHierarchy hierarchy(tiny(1024, 2, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    // Cold: L1(2) + L2(8) + memory(90) = 100.
+    EXPECT_EQ(hierarchy.accessLatency(0x1000, false), 100u);
+    // Warm: L1 hit.
+    EXPECT_EQ(hierarchy.accessLatency(0x1000, false), 2u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    // L1: direct-mapped 128B (2 lines); L2 big enough to keep both.
+    CacheHierarchy hierarchy(tiny(128, 1, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    hierarchy.accessLatency(0x000, false);
+    hierarchy.accessLatency(0x080, false); // evicts 0x000 from L1
+    // 0x000: L1 miss, L2 hit = 2 + 8.
+    EXPECT_EQ(hierarchy.accessLatency(0x000, false), 10u);
+}
+
+TEST(Hierarchy, TouchWarmsBothLevels)
+{
+    CacheHierarchy hierarchy(tiny(1024, 2, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    hierarchy.touch(0x2000);
+    EXPECT_EQ(hierarchy.accessLatency(0x2000, false), 2u);
+}
+
+TEST(Hierarchy, EvictForcesFullMiss)
+{
+    CacheHierarchy hierarchy(tiny(1024, 2, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    hierarchy.touch(0x2000);
+    hierarchy.evict(0x2000);
+    EXPECT_EQ(hierarchy.accessLatency(0x2000, false), 100u);
+}
+
+TEST(Hierarchy, AsyncAccessCompletesAtLatency)
+{
+    CacheHierarchy hierarchy(tiny(1024, 2, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    sim::EventQueue events;
+    hierarchy.deferredCall = [&](Tick when, std::function<void()> fn) {
+        events.scheduleFunc(when, std::move(fn));
+    };
+    Tick completed = 0;
+    hierarchy.access(0x3000, false, 10,
+                     [&](Tick when) { completed = when; });
+    events.serviceUntil(1000);
+    EXPECT_EQ(completed, 110u); // 10 + 100 cold
+    hierarchy.access(0x3000, false, 2000,
+                     [&](Tick when) { completed = when; });
+    events.serviceUntil(3000);
+    EXPECT_EQ(completed, 2002u); // 2000 + 2 warm
+}
+
+TEST(Hierarchy, LineFetchRoutesMisses)
+{
+    CacheHierarchy hierarchy(tiny(1024, 2, 64, 2), tiny(8192, 4, 64, 8),
+                             90, "h");
+    sim::EventQueue events;
+    hierarchy.deferredCall = [&](Tick when, std::function<void()> fn) {
+        events.scheduleFunc(when, std::move(fn));
+    };
+    Addr fetched = 0;
+    hierarchy.setLineFetch([&](Addr line, std::function<void(Tick)> done) {
+        fetched = line;
+        events.scheduleFunc(500, [done] { done(500); });
+    });
+    Tick completed = 0;
+    hierarchy.access(0x3010, false, 0,
+                     [&](Tick when) { completed = when; });
+    events.serviceUntil(1000);
+    EXPECT_EQ(fetched, 0x3000u) << "fetch is line-aligned";
+    EXPECT_EQ(completed, 500u);
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests of the conditional store buffer driven directly (no
+ * CPU): the exact semantics of section 3.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "bus/system_bus.hh"
+#include "io/burst_device.hh"
+#include "mem/csb.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace csb;
+using mem::ConditionalStoreBuffer;
+using mem::CsbParams;
+
+class CsbFixture : public ::testing::Test
+{
+  protected:
+    void
+    make(CsbParams params = {})
+    {
+        bus::BusParams bus_params;
+        bus_params.kind = bus::BusKind::Multiplexed;
+        bus_params.widthBytes = 8;
+        bus_params.ratio = 6;
+        bus_params.maxBurstBytes = 128;
+        bus = std::make_unique<bus::SystemBus>(sim, bus_params);
+        device = std::make_unique<io::BurstDevice>(12, 128);
+        bus->addTarget(0, 0x100000, device.get());
+        unit = std::make_unique<ConditionalStoreBuffer>(sim, *bus, params);
+    }
+
+    void
+    storeDword(ProcId pid, Addr addr, std::uint64_t value)
+    {
+        unit->store(pid, addr, 8, &value);
+    }
+
+    void
+    drain()
+    {
+        sim.run([&] { return unit->drained() && bus->quiescent(); },
+                10000);
+    }
+
+    sim::Simulator sim;
+    std::unique_ptr<bus::SystemBus> bus;
+    std::unique_ptr<io::BurstDevice> device;
+    std::unique_ptr<ConditionalStoreBuffer> unit;
+};
+
+TEST_F(CsbFixture, HitCounterCountsMatchingStores)
+{
+    make();
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1008, 2);
+    storeDword(1, 0x1030, 3);
+    EXPECT_EQ(unit->hitCounter(), 3u);
+    EXPECT_EQ(unit->lineAddr(), 0x1000u);
+    EXPECT_EQ(unit->pid(), 1);
+}
+
+TEST_F(CsbFixture, StoresMayArriveInAnyOrder)
+{
+    make();
+    storeDword(1, 0x1038, 8);
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1018, 4);
+    EXPECT_EQ(unit->hitCounter(), 3u);
+}
+
+TEST_F(CsbFixture, DifferentPidClearsAndRestarts)
+{
+    make();
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1008, 2);
+    storeDword(2, 0x1000, 99); // competitor
+    EXPECT_EQ(unit->hitCounter(), 1u);
+    EXPECT_EQ(unit->pid(), 2);
+    EXPECT_EQ(unit->conflictsOnStore.value(), 1.0);
+}
+
+TEST_F(CsbFixture, DifferentLineClearsAndRestarts)
+{
+    make();
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x2000, 2); // other line, same pid
+    EXPECT_EQ(unit->hitCounter(), 1u);
+    EXPECT_EQ(unit->lineAddr(), 0x2000u);
+}
+
+TEST_F(CsbFixture, FlushSucceedsOnExactMatch)
+{
+    make();
+    storeDword(1, 0x1000, 0xa);
+    storeDword(1, 0x1008, 0xb);
+    EXPECT_TRUE(unit->conditionalFlush(1, 0x1000, 2));
+    EXPECT_EQ(unit->hitCounter(), 0u);
+    EXPECT_EQ(unit->flushesSucceeded.value(), 1.0);
+}
+
+TEST_F(CsbFixture, FlushFailsOnWrongCount)
+{
+    make();
+    storeDword(1, 0x1000, 0xa);
+    storeDword(1, 0x1008, 0xb);
+    EXPECT_FALSE(unit->conditionalFlush(1, 0x1000, 3));
+    EXPECT_EQ(unit->hitCounter(), 0u) << "failed flush clears the buffer";
+    EXPECT_EQ(unit->flushesFailed.value(), 1.0);
+    drain();
+    EXPECT_EQ(device->writeLog().size(), 0u) << "nothing was issued";
+}
+
+TEST_F(CsbFixture, FlushFailsOnWrongPid)
+{
+    make();
+    storeDword(1, 0x1000, 0xa);
+    EXPECT_FALSE(unit->conditionalFlush(2, 0x1000, 1));
+}
+
+TEST_F(CsbFixture, FlushFailsOnWrongAddress)
+{
+    make();
+    storeDword(1, 0x1000, 0xa);
+    EXPECT_FALSE(unit->conditionalFlush(1, 0x2000, 1));
+}
+
+TEST_F(CsbFixture, AddressCheckCanBeDisabled)
+{
+    CsbParams params;
+    params.checkAddress = false;
+    make(params);
+    storeDword(1, 0x1000, 0xa);
+    // Same pid+count, different address: accepted when the optional
+    // address check is off (section 3.2 note).
+    EXPECT_TRUE(unit->conditionalFlush(1, 0x2000, 1));
+}
+
+TEST_F(CsbFixture, FlushOnEmptyBufferFails)
+{
+    make();
+    EXPECT_FALSE(unit->conditionalFlush(1, 0x1000, 0));
+    EXPECT_FALSE(unit->conditionalFlush(1, 0x1000, 1));
+}
+
+TEST_F(CsbFixture, SuccessfulFlushIssuesOneZeroPaddedLine)
+{
+    make();
+    storeDword(1, 0x1008, 0x1111111111111111ULL);
+    storeDword(1, 0x1030, 0x3333333333333333ULL);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1000, 2));
+    drain();
+
+    ASSERT_EQ(device->writeLog().size(), 1u);
+    const auto &write = device->writeLog()[0];
+    EXPECT_EQ(write.addr, 0x1000u);
+    ASSERT_EQ(write.data.size(), 64u);
+    std::uint64_t dwords[8];
+    std::memcpy(dwords, write.data.data(), 64);
+    EXPECT_EQ(dwords[0], 0u) << "padding";
+    EXPECT_EQ(dwords[1], 0x1111111111111111ULL);
+    EXPECT_EQ(dwords[6], 0x3333333333333333ULL);
+    for (int i : {2, 3, 4, 5, 7})
+        EXPECT_EQ(dwords[i], 0u) << "padding dword " << i;
+}
+
+TEST_F(CsbFixture, PaddingDoesNotLeakAcrossSequences)
+{
+    make();
+    // A first sequence fills the whole line with a secret...
+    for (unsigned off = 0; off < 64; off += 8)
+        storeDword(1, 0x1000 + off, 0x5ec5ec5ec5ec5ec5ULL);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1000, 8));
+    drain();
+    // ...then a second process stores one dword and flushes.
+    storeDword(2, 0x1000, 0x7);
+    ASSERT_TRUE(unit->conditionalFlush(2, 0x1000, 1));
+    drain();
+
+    ASSERT_EQ(device->writeLog().size(), 2u);
+    const auto &second = device->writeLog()[1].data;
+    std::uint64_t dword = 0;
+    for (unsigned off = 8; off < 64; off += 8) {
+        std::memcpy(&dword, second.data() + off, 8);
+        EXPECT_EQ(dword, 0u) << "secret leaked at offset " << off;
+    }
+}
+
+TEST_F(CsbFixture, OverwritingSameDwordStillCounts)
+{
+    // The counter counts stores, not distinct bytes (section 3.2).
+    make();
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1000, 2);
+    EXPECT_EQ(unit->hitCounter(), 2u);
+    EXPECT_TRUE(unit->conditionalFlush(1, 0x1000, 2));
+}
+
+TEST_F(CsbFixture, SingleLineBufferBlocksStoresUntilSent)
+{
+    make();
+    storeDword(1, 0x1000, 1);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1000, 1));
+    EXPECT_FALSE(unit->canAcceptStore())
+        << "line buffer holds the flushed data";
+    drain();
+    EXPECT_TRUE(unit->canAcceptStore());
+}
+
+TEST_F(CsbFixture, SecondLineBufferAllowsImmediateReuse)
+{
+    CsbParams params;
+    params.numLineBuffers = 2;
+    make(params);
+    storeDword(1, 0x1000, 1);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1000, 1));
+    EXPECT_TRUE(unit->canAcceptStore())
+        << "the second line buffer takes over";
+    storeDword(1, 0x1040, 2);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1040, 1));
+    drain();
+    EXPECT_EQ(device->writeLog().size(), 2u);
+}
+
+TEST_F(CsbFixture, PartialFlushIssuesOnlyValidBytes)
+{
+    CsbParams params;
+    params.partialFlush = true;
+    make(params);
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1008, 2);
+    ASSERT_TRUE(unit->conditionalFlush(1, 0x1000, 2));
+    drain();
+    ASSERT_EQ(device->writeLog().size(), 1u);
+    EXPECT_EQ(device->writeLog()[0].data.size(), 16u)
+        << "relaxed mode issues a 16-byte transaction, not a line";
+}
+
+TEST_F(CsbFixture, InterruptionScenarioFromPaper)
+{
+    // Section 3.2's worked example: process 1 is interrupted before
+    // its flush; process 2's first combining store clears the buffer
+    // and resets the counter to 1; process 1's flush then fails.
+    make();
+    storeDword(1, 0x1000, 1);
+    storeDword(1, 0x1008, 2); // ... preemption here
+    storeDword(2, 0x3000, 9); // competitor's first store
+    EXPECT_EQ(unit->hitCounter(), 1u);
+    EXPECT_FALSE(unit->conditionalFlush(1, 0x1000, 2))
+        << "original process detects the conflict";
+    // Process 2 must also retry (its sequence was cleared by the
+    // failed flush), which is safe: it had not flushed yet.
+    storeDword(2, 0x3000, 9);
+    EXPECT_TRUE(unit->conditionalFlush(2, 0x3000, 1));
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for page attributes and the TLB (ASIDs, LRU, refills).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace {
+
+using namespace csb;
+using mem::PageAttr;
+using mem::PageTable;
+using mem::Tlb;
+
+TEST(PageTable, DefaultsToCached)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.attrOf(0x1234), PageAttr::Cached);
+}
+
+TEST(PageTable, AttrCoversWholePages)
+{
+    PageTable pt;
+    pt.setAttr(0x2000, 1, PageAttr::Uncached);
+    EXPECT_EQ(pt.attrOf(0x2000), PageAttr::Uncached);
+    EXPECT_EQ(pt.attrOf(0x2fff), PageAttr::Uncached);
+    EXPECT_EQ(pt.attrOf(0x3000), PageAttr::Cached);
+}
+
+TEST(PageTable, MultiPageRange)
+{
+    PageTable pt;
+    pt.setAttr(0x10000, 3 * PageTable::pageSize,
+               PageAttr::UncachedCombining);
+    EXPECT_EQ(pt.attrOf(0x10000), PageAttr::UncachedCombining);
+    EXPECT_EQ(pt.attrOf(0x12fff), PageAttr::UncachedCombining);
+    EXPECT_EQ(pt.attrOf(0x13000), PageAttr::Cached);
+}
+
+TEST(PageTable, AttrNames)
+{
+    EXPECT_STREQ(pageAttrName(PageAttr::Cached), "cached");
+    EXPECT_STREQ(pageAttrName(PageAttr::UncachedAccelerated),
+                 "uncached-accelerated");
+    EXPECT_TRUE(isUncachedAttr(PageAttr::Uncached));
+    EXPECT_TRUE(isUncachedAttr(PageAttr::UncachedCombining));
+    EXPECT_FALSE(isUncachedAttr(PageAttr::Cached));
+}
+
+TEST(Tlb, HitAfterRefill)
+{
+    PageTable pt;
+    pt.setAttr(0x5000, 1, PageAttr::Uncached);
+    Tlb tlb(pt, 4, 20);
+    Tick penalty = 0;
+    EXPECT_EQ(tlb.translate(0x5010, 1, penalty), PageAttr::Uncached);
+    EXPECT_EQ(penalty, 20u) << "first access misses";
+    EXPECT_EQ(tlb.translate(0x5020, 1, penalty), PageAttr::Uncached);
+    EXPECT_EQ(penalty, 0u) << "second access hits";
+    EXPECT_EQ(tlb.hits.value(), 1.0);
+    EXPECT_EQ(tlb.misses.value(), 1.0);
+}
+
+TEST(Tlb, AsidsDoNotAlias)
+{
+    PageTable pt;
+    Tlb tlb(pt, 4, 20);
+    Tick penalty = 0;
+    tlb.translate(0x5000, 1, penalty);
+    EXPECT_EQ(penalty, 20u);
+    // Same page, different ASID: must miss (no flush needed -- the
+    // space identifier disambiguates, as in MIPS/Alpha).
+    tlb.translate(0x5000, 2, penalty);
+    EXPECT_EQ(penalty, 20u);
+    // Original ASID still hits.
+    tlb.translate(0x5000, 1, penalty);
+    EXPECT_EQ(penalty, 0u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    PageTable pt;
+    Tlb tlb(pt, 2, 20);
+    Tick penalty = 0;
+    tlb.translate(0x1000, 1, penalty); // A
+    tlb.translate(0x2000, 1, penalty); // B
+    tlb.translate(0x1000, 1, penalty); // touch A
+    tlb.translate(0x3000, 1, penalty); // C evicts B (LRU)
+    tlb.translate(0x1000, 1, penalty);
+    EXPECT_EQ(penalty, 0u) << "A must have survived";
+    tlb.translate(0x2000, 1, penalty);
+    EXPECT_EQ(penalty, 20u) << "B must have been evicted";
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    PageTable pt;
+    Tlb tlb(pt, 4, 20);
+    Tick penalty = 0;
+    tlb.translate(0x1000, 1, penalty);
+    tlb.flush();
+    tlb.translate(0x1000, 1, penalty);
+    EXPECT_EQ(penalty, 20u);
+}
+
+TEST(Tlb, PicksUpPageTableChangesAfterFlush)
+{
+    PageTable pt;
+    Tlb tlb(pt, 4, 20);
+    Tick penalty = 0;
+    EXPECT_EQ(tlb.translate(0x7000, 1, penalty), PageAttr::Cached);
+    pt.setAttr(0x7000, 1, PageAttr::UncachedCombining);
+    // Stale until flushed -- exactly how real TLBs behave.
+    EXPECT_EQ(tlb.translate(0x7000, 1, penalty), PageAttr::Cached);
+    tlb.flush();
+    EXPECT_EQ(tlb.translate(0x7000, 1, penalty),
+              PageAttr::UncachedCombining);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the sparse physical memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/physical_memory.hh"
+
+namespace {
+
+using csb::mem::PhysicalMemory;
+
+TEST(PhysicalMemory, ReadsZeroWhenUntouched)
+{
+    PhysicalMemory memory;
+    EXPECT_EQ(memory.readT<std::uint64_t>(0x12345678), 0u);
+    EXPECT_EQ(memory.framesAllocated(), 0u);
+}
+
+TEST(PhysicalMemory, RoundTripTyped)
+{
+    PhysicalMemory memory;
+    memory.writeT<std::uint64_t>(0x1000, 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(memory.readT<std::uint64_t>(0x1000), 0xdeadbeefcafebabeULL);
+    memory.writeT<std::uint8_t>(0x1000, 0x42);
+    EXPECT_EQ(memory.readT<std::uint8_t>(0x1000), 0x42);
+    // Only the low byte changed.
+    EXPECT_EQ(memory.readT<std::uint64_t>(0x1000) & 0xff, 0x42u);
+}
+
+TEST(PhysicalMemory, CrossFrameAccess)
+{
+    PhysicalMemory memory;
+    constexpr csb::Addr boundary = PhysicalMemory::frameSize;
+    std::vector<std::uint8_t> data(16);
+    for (unsigned i = 0; i < 16; ++i)
+        data[i] = static_cast<std::uint8_t>(i + 1);
+    memory.write(boundary - 8, data.data(), data.size());
+
+    std::vector<std::uint8_t> readback(16);
+    memory.read(boundary - 8, readback.data(), readback.size());
+    EXPECT_EQ(readback, data);
+    EXPECT_EQ(memory.framesAllocated(), 2u);
+}
+
+TEST(PhysicalMemory, SparseAllocation)
+{
+    PhysicalMemory memory;
+    memory.writeT<std::uint8_t>(0, 1);
+    memory.writeT<std::uint8_t>(1024 * 1024 * 1024ULL, 2);
+    EXPECT_EQ(memory.framesAllocated(), 2u);
+}
+
+TEST(PhysicalMemory, ReadDoesNotAllocate)
+{
+    PhysicalMemory memory;
+    std::uint64_t value = 0;
+    memory.read(0x8000, &value, 8);
+    EXPECT_EQ(memory.framesAllocated(), 0u);
+}
+
+TEST(PhysicalMemory, LargeBlockRoundTrip)
+{
+    PhysicalMemory memory;
+    std::vector<std::uint8_t> block(3 * PhysicalMemory::frameSize + 17);
+    for (std::size_t i = 0; i < block.size(); ++i)
+        block[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    memory.write(0x3fff, block.data(), block.size());
+    std::vector<std::uint8_t> readback(block.size());
+    memory.read(0x3fff, readback.data(), readback.size());
+    EXPECT_EQ(readback, block);
+}
+
+} // namespace

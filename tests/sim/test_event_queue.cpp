@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the discrete event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using csb::Tick;
+using csb::maxTick;
+using csb::sim::Event;
+using csb::sim::EventHandle;
+using csb::sim::EventQueue;
+
+class CountingEvent : public Event
+{
+  public:
+    explicit CountingEvent(int *counter, Priority pri = DefaultPri)
+        : Event(pri), counter_(counter)
+    {}
+
+    void process() override { ++*counter_; }
+
+  private:
+    int *counter_;
+};
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.nextTick(), maxTick);
+    EXPECT_FALSE(q.serviceOne());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFunc(30, [&] { order.push_back(3); });
+    q.scheduleFunc(10, [&] { order.push_back(1); });
+    q.scheduleFunc(20, [&] { order.push_back(2); });
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFunc(5, [&] { order.push_back(1); });
+    q.scheduleFunc(5, [&] { order.push_back(2); });
+    q.scheduleFunc(5, [&] { order.push_back(3); });
+    q.serviceUntil(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityOverridesInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleFunc(5, [&] { order.push_back(1); }, Event::MinimumPri);
+    q.scheduleFunc(5, [&] { order.push_back(2); }, Event::MaximumPri);
+    q.serviceUntil(5);
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle handle = q.scheduleFunc(5, [&] { ++fired; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    q.serviceUntil(10);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterFiringIsSafe)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle handle = q.scheduleFunc(5, [&] { ++fired; });
+    q.serviceUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not crash or double-fire
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ServiceUntilAdvancesTime)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleFunc(100, [&] { ++fired; });
+    q.serviceUntil(50);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.curTick(), 50u);
+    q.serviceUntil(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<Tick> times;
+    std::function<void()> chain = [&] {
+        times.push_back(q.curTick());
+        if (times.size() < 4)
+            q.scheduleFunc(q.curTick() + 10, chain);
+    };
+    q.scheduleFunc(10, chain);
+    q.serviceUntil(100);
+    EXPECT_EQ(times, (std::vector<Tick>{10, 20, 30, 40}));
+}
+
+TEST(EventQueue, CallerOwnedEventReschedules)
+{
+    EventQueue q;
+    int count = 0;
+    CountingEvent ev(&count);
+    q.schedule(&ev, 10);
+    q.reschedule(&ev, 20);
+    q.serviceUntil(15);
+    EXPECT_EQ(count, 0) << "stale entry must not fire";
+    q.serviceUntil(25);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, DescheduleCallerOwned)
+{
+    EventQueue q;
+    int count = 0;
+    CountingEvent ev(&count);
+    q.schedule(&ev, 10);
+    q.deschedule(&ev);
+    q.serviceUntil(20);
+    EXPECT_EQ(count, 0);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventQueue, NumProcessedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleFunc(i + 1, [] {});
+    q.serviceUntil(10);
+    EXPECT_EQ(q.numProcessed(), 5u);
+}
+
+} // namespace

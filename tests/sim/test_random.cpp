@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the deterministic random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace {
+
+using csb::sim::Random;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42);
+    Random b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2u);
+}
+
+TEST(Random, UniformStaysInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, UniformSingletonRange)
+{
+    Random rng(7);
+    EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Random, Uniform01Bounds)
+{
+    Random rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, RoughlyUniformCoverage)
+{
+    Random rng(13);
+    int buckets[10] = {};
+    constexpr int draws = 10000;
+    for (int i = 0; i < draws; ++i)
+        ++buckets[rng.uniform(0, 9)];
+    for (int count : buckets) {
+        EXPECT_GT(count, draws / 10 / 2);
+        EXPECT_LT(count, draws / 10 * 2);
+    }
+}
+
+} // namespace

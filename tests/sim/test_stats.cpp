@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace csb::sim::stats;
+
+TEST(Stats, ScalarArithmetic)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "a scalar");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_EQ(s.value(), 3.5);
+    s = 10;
+    EXPECT_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMean)
+{
+    StatGroup group("g");
+    Average avg(&group, "avg", "an average");
+    EXPECT_EQ(avg.value(), 0.0);
+    avg.sample(10);
+    avg.sample(20);
+    avg.sample(30);
+    EXPECT_DOUBLE_EQ(avg.value(), 20.0);
+    EXPECT_EQ(avg.count(), 3u);
+    EXPECT_DOUBLE_EQ(avg.sum(), 60.0);
+}
+
+TEST(Stats, DistributionBucketsAndOverflow)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "a histogram", 0, 10, 2);
+    dist.sample(1);
+    dist.sample(3);
+    dist.sample(3);
+    dist.sample(100);  // overflow
+    dist.sample(-5);   // underflow
+    EXPECT_EQ(dist.totalSamples(), 5u);
+    EXPECT_EQ(dist.overflow(), 1u);
+    EXPECT_EQ(dist.underflow(), 1u);
+    EXPECT_EQ(dist.buckets()[0], 1u); // [0,2)
+    EXPECT_EQ(dist.buckets()[1], 2u); // [2,4)
+    EXPECT_EQ(dist.minSampled(), -5);
+    EXPECT_EQ(dist.maxSampled(), 100);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup group("g");
+    Scalar a(&group, "a", "");
+    Scalar b(&group, "b", "");
+    Formula ratio(&group, "ratio", "a/b", [&] {
+        return b.value() != 0 ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_EQ(ratio.value(), 0.0);
+    a = 10;
+    b = 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.5);
+}
+
+TEST(Stats, GroupHierarchyNames)
+{
+    StatGroup root("system");
+    StatGroup child("cpu", &root);
+    StatGroup grand("l1", &child);
+    EXPECT_EQ(grand.fullStatName(), "system.cpu.l1");
+}
+
+TEST(Stats, DumpContainsAllStats)
+{
+    StatGroup root("sys");
+    StatGroup child("bus", &root);
+    Scalar a(&root, "cycles", "total cycles");
+    Scalar b(&child, "writes", "bus writes");
+    a = 42;
+    b = 7;
+    std::ostringstream os;
+    root.dumpStats(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sys.cycles"), std::string::npos);
+    EXPECT_NE(out.find("sys.bus.writes"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("total cycles"), std::string::npos);
+}
+
+TEST(Stats, ResetRecurses)
+{
+    StatGroup root("sys");
+    StatGroup child("bus", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a = 1;
+    b = 2;
+    root.resetStats();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, FindStatByName)
+{
+    StatGroup group("g");
+    Scalar a(&group, "hits", "");
+    EXPECT_EQ(group.findStat("hits"), &a);
+    EXPECT_EQ(group.findStat("misses"), nullptr);
+}
+
+} // namespace
