@@ -13,13 +13,204 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiments.hh"
+#include "sim/json.hh"
 
 namespace csb::bench {
+
+/**
+ * Machine-readable companion to the printed tables.
+ *
+ * Every bench binary owns one JsonReport.  It strips a `--json <path>`
+ * (or `--json=<path>`) argument before google-benchmark sees argv;
+ * when present, the destructor writes a `BENCH_<name>.json`-style
+ * artifact with the structured series (`tables`) plus the exact text
+ * the binary printed (`rendered`), which tools/regen_experiments
+ * splices back into EXPERIMENTS.md.  Without `--json` the report only
+ * forwards text to stdout.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(int &argc, char **argv, std::string name)
+        : name_(std::move(name))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            int consumed = 0;
+            if (arg == "--json" && i + 1 < argc) {
+                path_ = argv[i + 1];
+                consumed = 2;
+            } else if (arg.rfind("--json=", 0) == 0) {
+                path_ = arg.substr(7);
+                consumed = 1;
+            }
+            if (consumed > 0) {
+                for (int j = i; j + consumed < argc; ++j)
+                    argv[j] = argv[j + consumed];
+                argc -= consumed;
+                break;
+            }
+        }
+    }
+
+    ~JsonReport() { write(); }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Emit @p text to stdout and record it for the artifact. */
+    void
+    print(const std::string &text)
+    {
+        std::cout << text;
+        rendered_ += text;
+    }
+
+    /** printf-style print(). */
+    void
+    printf(const char *fmt, ...)
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        va_list ap2;
+        va_copy(ap2, ap);
+        int n = std::vsnprintf(nullptr, 0, fmt, ap);
+        va_end(ap);
+        std::string buf(n > 0 ? n : 0, '\0');
+        if (n > 0)
+            std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap2);
+        va_end(ap2);
+        print(buf);
+    }
+
+    /** Start a structured table; rows are appended with addRow(). */
+    void
+    beginTable(std::string title, std::vector<std::string> columns)
+    {
+        tables_.push_back(
+            Table{std::move(title), std::move(columns), {}});
+    }
+
+    /** Append one row (label + one value per column) to the last table. */
+    void
+    addRow(std::string label, std::vector<double> values)
+    {
+        tables_.back().rows.push_back(
+            Row{std::move(label), std::move(values)});
+    }
+
+    /** Record a bandwidth sweep as a structured table. */
+    void
+    addSweep(const core::BandwidthSweep &sweep)
+    {
+        std::vector<std::string> columns;
+        for (core::Scheme scheme : sweep.schemes)
+            columns.push_back(core::schemeName(scheme));
+        beginTable(sweep.title, std::move(columns));
+        for (std::size_t j = 0; j < sweep.sizes.size(); ++j) {
+            std::vector<double> values;
+            for (std::size_t i = 0; i < sweep.schemes.size(); ++i)
+                values.push_back(sweep.bandwidth[i][j]);
+            addRow(std::to_string(sweep.sizes[j]), std::move(values));
+        }
+    }
+
+    /** Record a latency sweep as a structured table. */
+    void
+    addLatencySweep(const core::LatencySweep &sweep)
+    {
+        std::vector<std::string> columns;
+        for (core::Scheme scheme : sweep.schemes) {
+            columns.push_back(scheme == core::Scheme::Csb
+                                  ? core::schemeName(scheme)
+                                  : "lock+" + core::schemeName(scheme));
+        }
+        beginTable(sweep.title, std::move(columns));
+        for (std::size_t j = 0; j < sweep.dwords.size(); ++j) {
+            std::vector<double> values;
+            for (std::size_t i = 0; i < sweep.schemes.size(); ++i)
+                values.push_back(sweep.cycles[i][j]);
+            addRow(std::to_string(sweep.dwords[j] * 8),
+                   std::move(values));
+        }
+    }
+
+  private:
+    struct Row
+    {
+        std::string label;
+        std::vector<double> values;
+    };
+
+    struct Table
+    {
+        std::string title;
+        std::vector<std::string> columns;
+        std::vector<Row> rows;
+    };
+
+    void
+    write()
+    {
+        if (!enabled())
+            return;
+        std::ofstream os(path_);
+        if (!os.is_open()) {
+            std::fprintf(stderr, "cannot open --json file '%s'\n",
+                         path_.c_str());
+            return;
+        }
+        sim::JsonWriter jw(os, 2);
+        jw.beginObject();
+        jw.kv("schema", "csbsim-bench-1");
+        jw.kv("name", name_);
+        jw.key("tables");
+        jw.beginArray();
+        for (const Table &table : tables_) {
+            jw.beginObject();
+            jw.kv("title", table.title);
+            jw.key("columns");
+            jw.beginArray();
+            for (const std::string &column : table.columns)
+                jw.value(column);
+            jw.endArray();
+            jw.key("rows");
+            jw.beginArray();
+            for (const Row &row : table.rows) {
+                jw.beginObject();
+                jw.kv("label", row.label);
+                jw.key("values");
+                jw.beginArray();
+                for (double v : row.values)
+                    jw.value(v);
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.kv("rendered", rendered_);
+        jw.endObject();
+        os << "\n";
+    }
+
+    std::string name_;
+    std::string path_;
+    std::string rendered_;
+    std::vector<Table> tables_;
+};
 
 /** Register one benchmark per (scheme, size) point of a sweep. */
 inline void
@@ -47,15 +238,33 @@ registerBandwidthPanel(const std::string &panel,
     }
 }
 
-/** Print the full sweep table for one panel. */
-inline void
-printBandwidthPanel(const std::string &title,
+/** Run, print and record the full sweep table for one panel. */
+inline core::BandwidthSweep
+printBandwidthPanel(JsonReport &report, const std::string &title,
                     const core::BandwidthSetup &setup)
 {
     core::BandwidthSweep sweep = core::runBandwidthSweep(
         title, setup, core::schemesForLine(setup.lineBytes),
         core::defaultTransferSizes());
-    core::printSweep(sweep, std::cout);
+    std::ostringstream os;
+    core::printSweep(sweep, os);
+    report.print(os.str());
+    report.addSweep(sweep);
+    return sweep;
+}
+
+/** Run, print and record one figure-5 latency panel. */
+inline core::LatencySweep
+printLatencyPanel(JsonReport &report, const std::string &title,
+                  const core::BandwidthSetup &setup, bool lock_miss)
+{
+    core::LatencySweep sweep =
+        core::runLatencySweep(title, setup, lock_miss);
+    std::ostringstream os;
+    core::printLatencySweep(sweep, os);
+    report.print(os.str());
+    report.addLatencySweep(sweep);
+    return sweep;
 }
 
 /** Multiplexed-bus setup shorthand. */

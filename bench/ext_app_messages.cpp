@@ -23,6 +23,7 @@ main(int argc, char **argv)
     namespace core = csb::core;
     using core::MessageSizeDistribution;
 
+    JsonReport report(argc, argv, "ext_app_messages");
     core::BandwidthSetup setup = muxSetup(6, 64);
     constexpr unsigned kMessages = 48;
 
@@ -46,10 +47,13 @@ main(int argc, char **argv)
                          kMessages)},
     };
 
-    std::cout << "=== Application message traffic: send overhead per "
-                 "message (CPU cycles) ===\n";
-    std::cout << "workload                                     lock+PIO"
-                 "    CSB PIO    speedup\n";
+    report.print("=== Application message traffic: send overhead per "
+                 "message (CPU cycles) ===\n");
+    report.print("workload                                     lock+PIO"
+                 "    CSB PIO    speedup\n");
+    report.beginTable("Application message traffic: send overhead per "
+                      "message (CPU cycles)",
+                      {"lock+PIO", "CSB PIO", "speedup"});
     for (const Workload &workload : workloads) {
         core::AppTrafficResult locked =
             core::runMessageWorkload(setup, /*use_csb=*/false,
@@ -57,19 +61,24 @@ main(int argc, char **argv)
         core::AppTrafficResult via_csb =
             core::runMessageWorkload(setup, /*use_csb=*/true,
                                      workload.sizes);
-        std::printf("%-44s %8.1f %10.1f %9.2fx\n", workload.name,
-                    locked.cyclesPerMessage, via_csb.cyclesPerMessage,
-                    locked.cyclesPerMessage / via_csb.cyclesPerMessage);
+        double speedup =
+            locked.cyclesPerMessage / via_csb.cyclesPerMessage;
+        report.printf("%-44s %8.1f %10.1f %9.2fx\n", workload.name,
+                      locked.cyclesPerMessage, via_csb.cyclesPerMessage,
+                      speedup);
+        report.addRow(workload.name,
+                      {locked.cyclesPerMessage, via_csb.cyclesPerMessage,
+                       speedup});
         if (locked.delivered != workload.sizes.size() ||
             via_csb.delivered != workload.sizes.size()) {
             std::fprintf(stderr, "message count mismatch!\n");
             return 1;
         }
     }
-    std::cout << "(48 messages per run; every message delivered by the "
+    report.print("(48 messages per run; every message delivered by the "
                  "NI in both modes.  The CSB's advantage holds on "
                  "application-like traffic, not just the paper's "
-                 "maximum-pressure loops.)\n\n";
+                 "maximum-pressure loops.)\n\n");
 
     for (bool use_csb : {false, true}) {
         std::string name = std::string("AppMessages/scientific/") +

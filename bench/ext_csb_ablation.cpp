@@ -92,54 +92,75 @@ csbLatency(Tick flush_latency, unsigned n_dwords)
 int
 main(int argc, char **argv)
 {
-    std::cout << "=== Ablation 1a: CSB line buffers -- bus bandwidth "
-                 "(8B mux bus) ===\n";
-    std::cout << "ratio   transfer   1-buffer   2-buffer  (B/bus-cycle)\n";
+    csb::bench::JsonReport report(argc, argv, "ext_csb_ablation");
+
+    report.print("=== Ablation 1a: CSB line buffers -- bus bandwidth "
+                 "(8B mux bus) ===\n");
+    report.print("ratio   transfer   1-buffer   2-buffer  "
+                 "(B/bus-cycle)\n");
+    report.beginTable("Ablation 1a: CSB line buffers -- bus bandwidth",
+                      {"1-buffer", "2-buffer"});
     for (unsigned ratio : {1u, 2u, 6u}) {
         for (unsigned bytes : {256u, 1024u}) {
             double one = csbBandwidth(ratio, 1, false, bytes);
             double two = csbBandwidth(ratio, 2, false, bytes);
-            std::printf("%-7u %-10u %10.2f %10.2f\n", ratio, bytes, one,
-                        two);
+            report.printf("%-7u %-10u %10.2f %10.2f\n", ratio, bytes,
+                          one, two);
+            report.addRow("ratio" + std::to_string(ratio) + "/" +
+                              std::to_string(bytes),
+                          {one, two});
         }
     }
-    std::cout << "(bus throughput is bus-limited either way)\n\n";
+    report.print("(bus throughput is bus-limited either way)\n\n");
 
-    std::cout << "=== Ablation 1b: CSB line buffers -- CPU completion "
-                 "(8B mux bus) ===\n";
-    std::cout << "ratio   transfer   1-buffer   2-buffer  (CPU cycles)\n";
+    report.print("=== Ablation 1b: CSB line buffers -- CPU completion "
+                 "(8B mux bus) ===\n");
+    report.print("ratio   transfer   1-buffer   2-buffer  "
+                 "(CPU cycles)\n");
+    report.beginTable("Ablation 1b: CSB line buffers -- CPU completion",
+                      {"1-buffer", "2-buffer"});
     for (unsigned ratio : {2u, 6u}) {
         for (unsigned bytes : {128u, 256u, 512u}) {
             double one = csbCpuCompletion(ratio, 1, bytes);
             double two = csbCpuCompletion(ratio, 2, bytes);
-            std::printf("%-7u %-10u %10.0f %10.0f\n", ratio, bytes, one,
-                        two);
+            report.printf("%-7u %-10u %10.0f %10.0f\n", ratio, bytes,
+                          one, two);
+            report.addRow("ratio" + std::to_string(ratio) + "/" +
+                              std::to_string(bytes),
+                          {one, two});
         }
     }
-    std::cout << "(the second line buffer removes the stall of the next "
+    report.print("(the second line buffer removes the stall of the next "
                  "group's stores behind a flushed-but-unsent line -- the "
-                 "pipelining extension of section 3.2)\n\n";
+                 "pipelining extension of section 3.2)\n\n");
 
-    std::cout << "=== Ablation 2: full-line vs partial flush "
-                 "(ratio 6) ===\n";
-    std::cout << "transfer   full-line    partial\n";
+    report.print("=== Ablation 2: full-line vs partial flush "
+                 "(ratio 6) ===\n");
+    report.print("transfer   full-line    partial\n");
+    report.beginTable("Ablation 2: full-line vs partial flush",
+                      {"full-line", "partial"});
     for (unsigned bytes : {8u, 16u, 32u, 64u, 256u}) {
         double full = csbBandwidth(6, 1, false, bytes);
         double partial = csbBandwidth(6, 1, true, bytes);
-        std::printf("%-10u %10.2f %10.2f\n", bytes, full, partial);
+        report.printf("%-10u %10.2f %10.2f\n", bytes, full, partial);
+        report.addRow(std::to_string(bytes), {full, partial});
     }
-    std::cout << "(partial flush removes the sub-line padding penalty "
-                 "when the bus supports multiple burst sizes)\n\n";
+    report.print("(partial flush removes the sub-line padding penalty "
+                 "when the bus supports multiple burst sizes)\n\n");
 
-    std::cout << "=== Ablation 3: conditional-flush latency vs figure 5 "
-                 "metric (8 dwords) ===\n";
-    std::cout << "flush-latency   cycles\n";
+    report.print("=== Ablation 3: conditional-flush latency vs figure 5 "
+                 "metric (8 dwords) ===\n");
+    report.print("flush-latency   cycles\n");
+    report.beginTable("Ablation 3: conditional-flush latency vs "
+                      "figure 5 metric",
+                      {"cycles"});
     for (csb::Tick lat : {1u, 2u, 4u, 8u}) {
-        std::printf("%-15llu %7.0f\n",
-                    static_cast<unsigned long long>(lat),
-                    csbLatency(lat, 8));
+        double cycles = csbLatency(lat, 8);
+        report.printf("%-15llu %7.0f\n",
+                      static_cast<unsigned long long>(lat), cycles);
+        report.addRow(std::to_string(lat), {cycles});
     }
-    std::cout << "\n";
+    report.print("\n");
 
     for (unsigned ratio : {1u, 6u}) {
         std::string name =

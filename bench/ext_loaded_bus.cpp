@@ -82,28 +82,34 @@ int
 main(int argc, char **argv)
 {
     using core::Scheme;
+    csb::bench::JsonReport report(argc, argv, "ext_loaded_bus");
     const Scheme schemes[] = {Scheme::NoCombine, Scheme::Combine64,
                               Scheme::Csb};
     const double loads[] = {0.0, 8.0, 4.0, 2.0};
     constexpr unsigned transfer = 1024;
 
-    std::cout << "=== I/O store bandwidth under background bus load "
-                 "(1 KiB transfers, 8B mux bus, ratio 6) ===\n";
-    std::cout << "load         no-comb    comb-64        CSB\n";
+    report.print("=== I/O store bandwidth under background bus load "
+                 "(1 KiB transfers, 8B mux bus, ratio 6) ===\n");
+    report.print("load         no-comb    comb-64        CSB\n");
+    report.beginTable("I/O store bandwidth under background bus load",
+                      {"no-comb", "comb-64", "CSB"});
     for (double load : loads) {
         std::string label =
             load == 0 ? "idle"
                       : "1/" + std::to_string(static_cast<int>(load)) +
                             " cyc";
-        std::printf("%-10s", label.c_str());
-        for (Scheme scheme : schemes)
-            std::printf(" %10.2f", loadedBandwidth(scheme, load,
-                                                   transfer));
-        std::printf("\n");
+        report.printf("%-10s", label.c_str());
+        std::vector<double> row;
+        for (Scheme scheme : schemes) {
+            row.push_back(loadedBandwidth(scheme, load, transfer));
+            report.printf(" %10.2f", row.back());
+        }
+        report.print("\n");
+        report.addRow(label, row);
     }
-    std::cout << "(bytes per bus cycle across the transfer window; "
+    report.print("(bytes per bus cycle across the transfer window; "
                  "bursts defend their share, single-beat stores "
-                 "lose theirs)\n\n";
+                 "lose theirs)\n\n");
 
     for (double load : {0.0, 4.0}) {
         for (Scheme scheme : schemes) {

@@ -15,34 +15,41 @@ main(int argc, char **argv)
     using namespace csb::bench;
     namespace core = csb::core;
 
+    JsonReport report(argc, argv, "ext_pio_vs_dma");
     core::BandwidthSetup setup = muxSetup(6, 64);
     const std::vector<unsigned> sizes = {16,  32,  64,   128, 256,
                                          512, 1024, 2048, 4096};
 
-    std::cout << "=== PIO vs DMA send latency (CPU cycles) -- "
-                 "8B multiplexed bus, ratio 6, 64B line ===\n";
-    std::cout << "bytes       lock+PIO    CSB+PIO        DMA\n";
+    report.print("=== PIO vs DMA send latency (CPU cycles) -- "
+                 "8B multiplexed bus, ratio 6, 64B line ===\n");
+    report.print("bytes       lock+PIO    CSB+PIO        DMA\n");
+    report.beginTable("PIO vs DMA send latency (CPU cycles)",
+                      {"lock+PIO", "CSB+PIO", "DMA"});
     unsigned crossover_locked = 0;
     unsigned crossover_csb = 0;
     for (unsigned size : sizes) {
         core::MessageLatency lat = core::measureMessageLatency(setup, size);
-        std::printf("%-8u %10.0f %10.0f %10.0f\n", size,
-                    lat.pioLockedCycles, lat.pioCsbCycles, lat.dmaCycles);
+        report.printf("%-8u %10.0f %10.0f %10.0f\n", size,
+                      lat.pioLockedCycles, lat.pioCsbCycles,
+                      lat.dmaCycles);
+        report.addRow(std::to_string(size),
+                      {lat.pioLockedCycles, lat.pioCsbCycles,
+                       lat.dmaCycles});
         if (crossover_locked == 0 && lat.dmaCycles < lat.pioLockedCycles)
             crossover_locked = size;
         if (crossover_csb == 0 && lat.dmaCycles < lat.pioCsbCycles)
             crossover_csb = size;
     }
-    std::cout << "\nDMA overtakes lock-protected PIO at: "
-              << (crossover_locked ? std::to_string(crossover_locked)
-                                   : std::string("never (in range)"))
-              << " bytes\n";
-    std::cout << "DMA overtakes CSB PIO at:            "
-              << (crossover_csb ? std::to_string(crossover_csb)
-                                : std::string("never (in range)"))
-              << " bytes\n";
-    std::cout << "(the CSB moves the PIO/DMA break-even point towards "
-                 "bigger messages -- paper section 5)\n\n";
+    report.print("\nDMA overtakes lock-protected PIO at: " +
+                 (crossover_locked ? std::to_string(crossover_locked)
+                                   : std::string("never (in range)")) +
+                 " bytes\n");
+    report.print("DMA overtakes CSB PIO at:            " +
+                 (crossover_csb ? std::to_string(crossover_csb)
+                                : std::string("never (in range)")) +
+                 " bytes\n");
+    report.print("(the CSB moves the PIO/DMA break-even point towards "
+                 "bigger messages -- paper section 5)\n\n");
 
     for (unsigned size : sizes) {
         std::string name = "PioVsDma/" + std::to_string(size) + "B";

@@ -79,29 +79,36 @@ int
 main(int argc, char **argv)
 {
     using core::Scheme;
+    csb::bench::JsonReport report(argc, argv, "ext_smp_scaling");
     constexpr unsigned per_core = 1024;
     const Scheme schemes[] = {Scheme::NoCombine, Scheme::Combine64,
                               Scheme::Csb};
 
-    std::cout << "=== SMP I/O store scaling (1 KiB per core, 8B mux "
-                 "bus, ratio 6, 64B line) ===\n";
-    std::cout << "scheme     1-core agg  2-core agg   1-core done  "
-                 "2-core done\n";
+    report.print("=== SMP I/O store scaling (1 KiB per core, 8B mux "
+                 "bus, ratio 6, 64B line) ===\n");
+    report.print("scheme     1-core agg  2-core agg   1-core done  "
+                 "2-core done\n");
+    report.beginTable("SMP I/O store scaling",
+                      {"1-core agg", "2-core agg", "1-core done",
+                       "2-core done"});
     for (Scheme scheme : schemes) {
         ScalingResult one = measure(scheme, 1, per_core);
         ScalingResult two = measure(scheme, 2, per_core);
-        std::printf("%-10s %11.2f %11.2f %12.0f %12.0f\n",
-                    core::schemeName(scheme).c_str(), one.aggregate,
-                    two.aggregate, one.completion, two.completion);
+        report.printf("%-10s %11.2f %11.2f %12.0f %12.0f\n",
+                      core::schemeName(scheme).c_str(), one.aggregate,
+                      two.aggregate, one.completion, two.completion);
+        report.addRow(core::schemeName(scheme),
+                      {one.aggregate, two.aggregate, one.completion,
+                       two.completion});
     }
-    std::cout << "(aggregate bytes per bus cycle and CPU-cycle "
+    report.print("(aggregate bytes per bus cycle and CPU-cycle "
                  "completion time.  Every scheme is bus-bound, so "
                  "doubling the cores doubles the completion time; what "
                  "differs is how much I/O the node pushes through the "
                  "shared bus -- the CSB moves ~78% more than "
                  "single-beat stores.  This is exactly the bus-"
                  "occupancy pressure the paper's introduction blames "
-                 "for the SMP I/O bottleneck.)\n\n";
+                 "for the SMP I/O bottleneck.)\n\n");
 
     for (Scheme scheme : schemes) {
         for (unsigned cores : {1u, 2u}) {

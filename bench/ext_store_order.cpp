@@ -86,23 +86,27 @@ mechanismName(Mechanism mechanism)
 int
 main(int argc, char **argv)
 {
+    csb::bench::JsonReport report(argc, argv, "ext_store_order");
     constexpr unsigned transfer = 1024;
     const Mechanism mechanisms[] = {Mechanism::SeqOnly, Mechanism::Block,
                                     Mechanism::Csb};
 
-    std::cout << "=== Store-order sensitivity (1 KiB, 8B mux bus, "
-                 "ratio 6, 64B line) ===\n";
-    std::cout << "mechanism   ascending   shuffled   order penalty\n";
+    report.print("=== Store-order sensitivity (1 KiB, 8B mux bus, "
+                 "ratio 6, 64B line) ===\n");
+    report.print("mechanism   ascending   shuffled   order penalty\n");
+    report.beginTable("Store-order sensitivity",
+                      {"ascending", "shuffled", "order penalty %"});
     for (Mechanism mechanism : mechanisms) {
         double seq = orderBandwidth(mechanism, false, transfer);
         double shuf = orderBandwidth(mechanism, true, transfer);
-        std::printf("%-11s %9.2f %10.2f %12.0f%%\n",
-                    mechanismName(mechanism), seq, shuf,
-                    100.0 * (1.0 - shuf / seq));
+        double penalty = 100.0 * (1.0 - shuf / seq);
+        report.printf("%-11s %9.2f %10.2f %12.0f%%\n",
+                      mechanismName(mechanism), seq, shuf, penalty);
+        report.addRow(mechanismName(mechanism), {seq, shuf, penalty});
     }
-    std::cout << "(bytes per bus cycle.  Pattern-detecting hardware "
+    report.print("(bytes per bus cycle.  Pattern-detecting hardware "
                  "loses its combining on shuffled stores; the "
-                 "software-controlled CSB is order-blind.)\n\n";
+                 "software-controlled CSB is order-blind.)\n\n");
 
     for (Mechanism mechanism : mechanisms) {
         for (bool shuffled : {false, true}) {

@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    JsonReport report(argc, argv, "fig3_mux_block");
 
     struct Panel
     {
@@ -25,6 +26,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
+            report,
             std::string(panel.name) +
                 ": 8B multiplexed bus, ratio 6, no turnaround",
             muxSetup(6, panel.block));

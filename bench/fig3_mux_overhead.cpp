@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    JsonReport report(argc, argv, "fig3_mux_overhead");
 
     struct Panel
     {
@@ -27,6 +28,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
+            report,
             std::string(panel.name) +
                 ": 8B multiplexed bus, ratio 6, 64B block",
             muxSetup(6, 64, panel.turnaround, panel.ack));

@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    JsonReport report(argc, argv, "fig4_split_overhead");
 
     struct Panel
     {
@@ -27,6 +28,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
+            report,
             std::string(panel.name) + ": 16B split bus, ratio 6, 64B block",
             splitSetup(16, 6, 64, panel.turnaround, panel.ack));
         registerBandwidthPanel(

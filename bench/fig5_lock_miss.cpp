@@ -14,12 +14,13 @@ main(int argc, char **argv)
     namespace core = csb::core;
     using csb::core::Scheme;
 
+    JsonReport report(argc, argv, "fig5_lock_miss");
     core::BandwidthSetup setup = muxSetup(6, 64);
 
-    core::LatencySweep sweep = core::runLatencySweep(
+    core::LatencySweep sweep = printLatencyPanel(
+        report,
         "Fig 5(b): lock misses all caches -- 8B multiplexed bus, ratio 6",
         setup, /*lock_miss=*/true);
-    core::printLatencySweep(sweep, std::cout);
 
     for (std::size_t i = 0; i < sweep.schemes.size(); ++i) {
         for (std::size_t j = 0; j < sweep.dwords.size(); ++j) {

@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/trace_json.hh"
 
 namespace csb::bus {
 
@@ -52,6 +53,19 @@ SystemBus::SystemBus(sim::Simulator &simulator, const BusParams &params,
                      "bus cycles spent moving address or data"),
       orderingStallCycles(this, "orderingStallCycles",
                           "cycles a ready request waited for an ack"),
+      turnaroundCycles(this, "turnaroundCycles",
+                       "idle turnaround cycles inserted after tenures"),
+      txnLatencyCycles(this, "txnLatencyCycles",
+                       "bus cycles from request to completion",
+                       0, 128, 4),
+      utilization(this, "utilization",
+                  "busy fraction of elapsed bus cycles",
+                  [this] {
+                      std::uint64_t c = curBusCycle();
+                      return c ? busyDataCycles.value() /
+                                     static_cast<double>(c)
+                               : 0.0;
+                  }),
       sim_(simulator), params_(params)
 {
     params_.validate();
@@ -277,6 +291,19 @@ SystemBus::tryStartResponse(std::uint64_t c)
     numReads += 1;
     bytesRead += resp.txn.size;
     busyDataCycles += cycles;
+    turnaroundCycles += params_.turnaround;
+    txnLatencyCycles.sample(
+        static_cast<double>(rec.completionTick - rec.requestTick) /
+        clockDomain().period());
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "bus", "read-resp " + std::to_string(rec.size) + "B",
+            clockDomain().tickOfCycle(rec.firstDataCycle),
+            rec.completionTick,
+            {{"addr", sim::trace::hexArg(rec.addr)},
+             {"master", masterNames_[rec.master]}});
+    }
 
     PendingResponse done = std::move(resp);
     responses_.pop_front();
@@ -368,9 +395,22 @@ SystemBus::startWrite(Request &req, std::uint64_t c)
     monitor_.record(rec);
     numWrites += 1;
     bytesWritten += req.txn.size;
+    turnaroundCycles += params_.turnaround;
+    txnLatencyCycles.sample(
+        static_cast<double>(rec.completionTick - rec.requestTick) /
+        clockDomain().period());
     ++inFlight_;
     sim::trace::log("bus", "write start cycle=", c, " ",
                     req.txn.toString());
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "bus", "write " + std::to_string(rec.size) + "B",
+            clockDomain().tickOfCycle(rec.addrCycle), rec.completionTick,
+            {{"addr", sim::trace::hexArg(rec.addr)},
+             {"master", masterNames_[rec.master]},
+             {"ordered", rec.stronglyOrdered ? "true" : "false"}});
+    }
 
     if (req.onStart)
         req.onStart(sim_.curTick());
@@ -408,6 +448,8 @@ SystemBus::startRead(Request &req, std::uint64_t c)
     addrNextFree_ = c + 1 +
         (params_.kind == BusKind::Multiplexed ? params_.turnaround : 0);
     busyDataCycles += 1;
+    if (params_.kind == BusKind::Multiplexed)
+        turnaroundCycles += params_.turnaround;
 
     if (req.txn.stronglyOrdered)
         lastOrderedAddrCycle_[req.txn.master] = static_cast<std::int64_t>(c);
@@ -416,6 +458,14 @@ SystemBus::startRead(Request &req, std::uint64_t c)
     ++inFlight_;
     sim::trace::log("bus", "read start cycle=", c, " ",
                     req.txn.toString());
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "bus", "read-req",
+            clockDomain().tickOfCycle(c), rec.completionTick,
+            {{"addr", sim::trace::hexArg(rec.addr)},
+             {"master", masterNames_[rec.master]}});
+    }
 
     if (req.onStart)
         req.onStart(sim_.curTick());

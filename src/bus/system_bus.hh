@@ -151,6 +151,12 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar bytesRead;
     sim::stats::Scalar busyDataCycles;
     sim::stats::Scalar orderingStallCycles;
+    /** Idle bus cycles inserted as turnaround after tenures. */
+    sim::stats::Scalar turnaroundCycles;
+    /** Bus cycles from request presentation to transfer completion. */
+    sim::stats::Distribution txnLatencyCycles;
+    /** busyDataCycles over elapsed bus cycles (computed on demand). */
+    sim::stats::Formula utilization;
 
   private:
     struct Request

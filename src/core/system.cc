@@ -1,6 +1,8 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 
 #include "sim/logging.hh"
 
@@ -159,7 +161,19 @@ System::buildCoreSlice(unsigned cpu)
                                              "cpu" + suffix, this);
 }
 
-System::~System() = default;
+System::~System()
+{
+    // Machine-readable stats export: when CSBSIM_STATS_JSON names a
+    // file, serialize the full stats tree there at teardown.  Each
+    // System overwrites the file, so a process that builds several
+    // systems (the bench sweeps) leaves the last configuration's
+    // tree -- exactly one valid JSON document either way.
+    if (const char *path = std::getenv("CSBSIM_STATS_JSON")) {
+        std::ofstream os(path);
+        if (os)
+            dumpStatsJson(os);
+    }
+}
 
 bool
 System::quiescent() const

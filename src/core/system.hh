@@ -69,7 +69,10 @@ class System : public sim::stats::StatGroup
     /** @return true when all queues/buses/devices are idle. */
     bool quiescent() const;
     // Statistics of every component dump via the inherited
-    // StatGroup::dumpStats(std::ostream&).
+    // StatGroup::dumpStats(std::ostream&) (text) and
+    // StatGroup::dumpStatsJson(std::ostream&) (JSON); setting
+    // CSBSIM_STATS_JSON=<path> writes the JSON tree at destruction
+    // (see docs/OBSERVABILITY.md).
 
     // Component access.  The index selects the processor of an SMP
     // configuration; the index-free forms are the core-0 shorthands

@@ -40,6 +40,10 @@ Core::Core(sim::Simulator &simulator, const CoreParams &params,
       csbStoreStallCycles(this, "csbStoreStallCycles",
                           "cycles retire stalled on a busy CSB"),
       contextSwitches(this, "contextSwitches", "pipeline squashes"),
+      uncachedStallRuns(this, "uncachedStallRuns",
+                        "consecutive cycles an uncached store waited "
+                        "before retiring",
+                        0, 64, 1),
       ipc(this, "ipc", "retired instructions per cycle",
           [this] {
               double cycles = numCycles.value();
@@ -611,26 +615,33 @@ Core::commitStore(DynInst &head, unsigned &uncached_retired)
     // All flavours of uncached stores obey the per-cycle retire limit.
     if (uncached_retired >= params_.maxUncachedRetirePerCycle) {
         uncachedRetireStallCycles += 1;
+        ++uncachedStallRun_;
         return false;
     }
 
     if (head.attr == mem::PageAttr::UncachedCombining && ports_.csb) {
         if (!ports_.csb->canAcceptStore()) {
             csbStoreStallCycles += 1;
+            ++uncachedStallRun_;
             return false;
         }
         ports_.csb->store(arch_.pid, head.effAddr, head.size,
                           &head.src2Val);
         ++uncached_retired;
+        uncachedStallRuns.sample(uncachedStallRun_);
+        uncachedStallRun_ = 0;
         return true;
     }
 
     if (!ports_.ubuf->canAcceptStore(head.effAddr, head.size)) {
         uncachedRetireStallCycles += 1;
+        ++uncachedStallRun_;
         return false;
     }
     ports_.ubuf->pushStore(head.effAddr, head.size, &head.src2Val);
     ++uncached_retired;
+    uncachedStallRuns.sample(uncachedStallRun_);
+    uncachedStallRun_ = 0;
     return true;
 }
 

@@ -139,6 +139,8 @@ class Core : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar membarStallCycles;
     sim::stats::Scalar csbStoreStallCycles;
     sim::stats::Scalar contextSwitches;
+    /** Consecutive cycles an uncached store waited before retiring. */
+    sim::stats::Distribution uncachedStallRuns;
     sim::stats::Formula ipc;
 
   private:
@@ -228,6 +230,8 @@ class Core : public sim::Clocked, public sim::stats::StatGroup
 
     std::uint64_t fetchPc_ = 0;
     bool fetchHalted_ = true;
+    /** Length of the current uncached-store retire-stall streak. */
+    unsigned uncachedStallRun_ = 0;
     /** Non-zero: fetch waits for this branch to execute. */
     std::uint64_t fetchStallSeq_ = 0;
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace csb::io {
 
@@ -33,6 +34,13 @@ BurstDevice::write(const bus::BusTransaction &txn, Tick now)
     writeLog_.push_back(std::move(rec));
     writesReceived += 1;
     bytesReceived += txn.size;
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonInstant(
+            "dev", "burst " + std::to_string(txn.size) + "B", now,
+            {{"addr", sim::trace::hexArg(txn.addr)},
+             {"device", name_}});
+    }
 }
 
 Tick

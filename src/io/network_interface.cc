@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace csb::io {
 
@@ -18,6 +19,11 @@ NetworkInterface::NetworkInterface(sim::Simulator &simulator,
       bytesSent(this, "bytesSent", "payload bytes onto the wire"),
       descriptorsPushed(this, "descriptorsPushed",
                         "DMA descriptors accepted"),
+      wireBusyTicks(this, "wireBusyTicks",
+                    "ticks the wire spent transmitting payload"),
+      messageBytes(this, "messageBytes",
+                   "payload bytes per message entering the wire",
+                   0, 4096, 256),
       sim_(simulator), bus_(bus), base_(base), params_(params),
       name_(std::move(name))
 {
@@ -113,7 +119,16 @@ NetworkInterface::finishMessage(std::vector<std::uint8_t> payload,
     Tick deliver = send_done + params_.wireLatency;
     wireFreeAt_ = send_done;
     bytesSent += payload.size();
+    wireBusyTicks += tx_ticks;
+    messageBytes.sample(static_cast<double>(payload.size()));
     ++messagesInWire_;
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "ni.wire", via_dma ? "dma msg" : "pio msg", start, send_done,
+            {{"bytes", std::to_string(payload.size())},
+             {"deliver", std::to_string(deliver)}});
+    }
 
     DeliveredMessage msg;
     msg.payload = std::move(payload);

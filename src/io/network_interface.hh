@@ -122,6 +122,10 @@ class NetworkInterface : public bus::BusTarget,
     sim::stats::Scalar dmaMessages;
     sim::stats::Scalar bytesSent;
     sim::stats::Scalar descriptorsPushed;
+    /** Ticks the wire spent transmitting payload bytes. */
+    sim::stats::Scalar wireBusyTicks;
+    /** Payload size of each message entering the wire. */
+    sim::stats::Distribution messageBytes;
 
   private:
     struct DmaJob

@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/trace_json.hh"
 
 namespace csb::mem {
 
@@ -35,6 +36,9 @@ ConditionalStoreBuffer::ConditionalStoreBuffer(
       linesIssued(this, "linesIssued", "burst lines sent to the bus"),
       storeStallCycles(this, "storeStallCycles",
                        "cycles retire stalled on a busy line buffer"),
+      fillAtFlush(this, "fillAtFlush",
+                  "valid bytes in the line at a successful flush",
+                  0, params.lineBytes, 8),
       sim_(simulator), bus_(bus), params_(params)
 {
     params_.validate();
@@ -87,6 +91,8 @@ ConditionalStoreBuffer::store(ProcId pid, Addr addr, unsigned size,
         valid_.set(offset + i);
     ++hitCounter_;
     ++storesAccepted;
+    if (hitCounter_ == 1)
+        accumStartTick_ = sim_.curTick();
     sim::trace::log("csb", "store pid=", pid, " addr=0x", std::hex, addr,
                     std::dec, " size=", size, (match ? "" : " (cleared)"),
                     " counter=", hitCounter_);
@@ -106,10 +112,26 @@ ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
     if (!match) {
         sim::trace::log("csb", "flush FAILED pid=", pid, " expected=",
                         expected, " counter=", hitCounter_);
+        if (sim::trace::jsonEnabled()) {
+            sim::trace::jsonInstant(
+                "csb", "flush-fail", sim_.curTick(),
+                {{"addr", sim::trace::hexArg(line)},
+                 {"expected", std::to_string(expected)},
+                 {"counter", std::to_string(hitCounter_)}});
+        }
         clearAccumulator();
         hitCounter_ = 0;
         ++flushesFailed;
         return false;
+    }
+
+    fillAtFlush.sample(static_cast<double>(valid_.count()));
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "csb", "csb line " + sim::trace::hexArg(lineAddr_),
+            accumStartTick_, sim_.curTick(),
+            {{"stores", std::to_string(expected)},
+             {"valid_bytes", std::to_string(valid_.count())}});
     }
 
     // Success: hand the (zero-padded) line to the system interface.

@@ -140,6 +140,8 @@ class ConditionalStoreBuffer : public sim::Clocked,
     sim::stats::Scalar flushesFailed;
     sim::stats::Scalar linesIssued;
     sim::stats::Scalar storeStallCycles;
+    /** Valid bytes in the line register at each successful flush. */
+    sim::stats::Distribution fillAtFlush;
 
   private:
     struct OutLine
@@ -162,6 +164,8 @@ class ConditionalStoreBuffer : public sim::Clocked,
     Addr lineAddr_ = 0;
     ProcId pid_ = 0;
     std::uint64_t hitCounter_ = 0;
+    /** Tick of the first store of the current sequence (trace spans). */
+    Tick accumStartTick_ = 0;
 
     /** Flushed lines waiting for their bus transaction to start. */
     std::deque<OutLine> outbox_;

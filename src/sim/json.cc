@@ -1,0 +1,201 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace csb::sim {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf
+    // 2^53: largest range where every integer is exact in a double.
+    if (v == std::floor(v) && std::fabs(v) <= 9007199254740992.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::separator()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!scopes_.empty()) {
+        if (hasItems_.back())
+            raw(",");
+        hasItems_.back() = true;
+        newline();
+    }
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    raw("\n");
+    raw(std::string(indent_ * scopes_.size(), ' '));
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    os_ << text;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    raw("{");
+    scopes_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    csb_assert(!scopes_.empty() && scopes_.back() == Scope::Object,
+               "endObject outside an object");
+    bool had_items = hasItems_.back();
+    scopes_.pop_back();
+    hasItems_.pop_back();
+    if (had_items)
+        newline();
+    raw("}");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    raw("[");
+    scopes_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    csb_assert(!scopes_.empty() && scopes_.back() == Scope::Array,
+               "endArray outside an array");
+    bool had_items = hasItems_.back();
+    scopes_.pop_back();
+    hasItems_.pop_back();
+    if (had_items)
+        newline();
+    raw("]");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    csb_assert(!scopes_.empty() && scopes_.back() == Scope::Object,
+               "key() outside an object");
+    separator();
+    raw("\"" + jsonEscape(k) + "\":" + (indent_ > 0 ? " " : ""));
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    raw("\"" + jsonEscape(v) + "\"");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    raw(jsonNumber(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    raw(v ? "true" : "false");
+    return *this;
+}
+
+} // namespace csb::sim

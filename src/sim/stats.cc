@@ -1,7 +1,10 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+
+#include "json.hh"
 
 namespace csb::sim::stats {
 
@@ -31,9 +34,31 @@ Scalar::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Scalar::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("type", "scalar");
+    jw.kv("desc", desc());
+    jw.kv("value", value_);
+    jw.endObject();
+}
+
+void
 Average::dump(std::ostream &os, const std::string &prefix) const
 {
     emit(os, prefix, name(), value(), desc());
+}
+
+void
+Average::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("type", "average");
+    jw.kv("desc", desc());
+    jw.kv("value", value());
+    jw.kv("sum", sum_);
+    jw.kv("count", count_);
+    jw.endObject();
 }
 
 Distribution::Distribution(StatGroup *parent, std::string name,
@@ -91,6 +116,52 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
              static_cast<double>(overflow_), desc());
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cum = underflow_;
+    if (rank <= cum)
+        return minSampled_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (rank <= cum)
+            return std::min(min_ + (i + 1) * bucketSize_, max_);
+    }
+    return maxSampled_;
+}
+
+void
+Distribution::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("type", "distribution");
+    jw.kv("desc", desc());
+    jw.kv("min", min_);
+    jw.kv("max", max_);
+    jw.kv("bucket_size", bucketSize_);
+    jw.kv("samples", samples_);
+    jw.kv("mean", mean());
+    jw.kv("min_sampled", minSampled_);
+    jw.kv("max_sampled", maxSampled_);
+    jw.kv("underflow", underflow_);
+    jw.kv("overflow", overflow_);
+    jw.kv("p50", percentile(0.50));
+    jw.kv("p90", percentile(0.90));
+    jw.kv("p99", percentile(0.99));
+    jw.key("buckets");
+    jw.beginArray();
+    for (std::uint64_t b : buckets_)
+        jw.value(b);
+    jw.endArray();
+    jw.endObject();
+}
+
 void
 Distribution::reset()
 {
@@ -107,6 +178,16 @@ void
 Formula::dump(std::ostream &os, const std::string &prefix) const
 {
     emit(os, prefix, name(), value(), desc());
+}
+
+void
+Formula::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("type", "formula");
+    jw.kv("desc", desc());
+    jw.kv("value", value());
+    jw.endObject();
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -144,6 +225,29 @@ StatGroup::dumpStats(std::ostream &os) const
         stat->dump(os, prefix);
     for (const StatGroup *child : children_)
         child->dumpStats(os);
+}
+
+void
+StatGroup::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const StatBase *stat : stats_) {
+        jw.key(stat->name());
+        stat->dumpJson(jw);
+    }
+    for (const StatGroup *child : children_) {
+        jw.key(child->statName());
+        child->dumpJson(jw);
+    }
+    jw.endObject();
+}
+
+void
+StatGroup::dumpStatsJson(std::ostream &os, int indent) const
+{
+    JsonWriter jw(os, indent);
+    dumpJson(jw);
+    os << "\n";
 }
 
 void

@@ -20,6 +20,10 @@
 
 #include "logging.hh"
 
+namespace csb::sim {
+class JsonWriter;
+} // namespace csb::sim
+
 namespace csb::sim::stats {
 
 class StatGroup;
@@ -39,6 +43,12 @@ class StatBase
 
     /** Render the stat as one or more output lines. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /**
+     * Render the stat as a JSON object ("type"/"desc"/values).  The
+     * caller has already emitted the enclosing key.
+     */
+    virtual void dumpJson(JsonWriter &jw) const = 0;
 
     /** Reset to the initial state. */
     virtual void reset() = 0;
@@ -63,6 +73,7 @@ class Scalar : public StatBase
     double value() const { return value_; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(JsonWriter &jw) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -89,6 +100,7 @@ class Average : public StatBase
     double sum() const { return sum_; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(JsonWriter &jw) const override;
 
     void
     reset() override
@@ -119,7 +131,17 @@ class Distribution : public StatBase
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Value at or below which a fraction @p p of samples fall,
+     * resolved to bucket granularity (upper bucket edge).
+     *
+     * @param p fraction in (0, 1]; e.g. 0.5 for the median.
+     * @return 0 when no samples have been recorded.
+     */
+    double percentile(double p) const;
+
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(JsonWriter &jw) const override;
     void reset() override;
 
   private:
@@ -148,6 +170,7 @@ class Formula : public StatBase
     double value() const { return fn_(); }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(JsonWriter &jw) const override;
     void reset() override {}
 
   private:
@@ -173,6 +196,23 @@ class StatGroup
 
     /** Dump this group's stats and all children, depth first. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Serialize this group as a JSON object: one member per stat
+     * (rendered by StatBase::dumpJson) and one per child group,
+     * nested recursively.  The caller has already emitted the
+     * enclosing key (or this is the document root).
+     */
+    void dumpJson(JsonWriter &jw) const;
+
+    /**
+     * Convenience wrapper: write a complete JSON document for this
+     * group's subtree to @p os.
+     *
+     * @param os     sink for the document.
+     * @param indent spaces per nesting level; 0 emits compact JSON.
+     */
+    void dumpStatsJson(std::ostream &os, int indent = 2) const;
 
     /** Reset all stats in this group and its children. */
     void resetStats();

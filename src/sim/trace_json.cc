@@ -1,0 +1,216 @@
+#include "trace_json.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+
+#include "json.hh"
+
+namespace csb::sim::trace {
+
+namespace {
+
+struct JsonEvent
+{
+    std::string track;
+    std::string name;
+    Tick ts;
+    Tick dur;       // 0 for instant events
+    bool instant;
+    std::vector<SpanArg> args;
+};
+
+struct TraceJsonState
+{
+    std::ostream *out = nullptr;            // active sink, if any
+    std::unique_ptr<std::ofstream> file;    // owned when env/file-based
+    std::vector<JsonEvent> events;
+    bool envLoaded = false;
+
+    ~TraceJsonState()
+    {
+        // Flush the env-configured file sink at exit; a test-provided
+        // ostream may already be dead by now, so only the owned file
+        // is safe to touch.
+        if (file && file->is_open())
+            flushTo(*file);
+    }
+
+    void
+    flushTo(std::ostream &os)
+    {
+        std::stable_sort(events.begin(), events.end(),
+                         [](const JsonEvent &a, const JsonEvent &b) {
+                             return a.ts < b.ts;
+                         });
+
+        // Assign tids per track in first-seen order so related spans
+        // share a row in the viewer.
+        std::map<std::string, int> tids;
+        std::vector<std::string> track_order;
+        for (const JsonEvent &ev : events) {
+            if (tids.emplace(ev.track, int(tids.size()) + 1).second)
+                track_order.push_back(ev.track);
+        }
+
+        JsonWriter jw(os, 0);
+        jw.beginObject();
+        jw.kv("displayTimeUnit", "ms");
+        jw.key("traceEvents");
+        jw.beginArray();
+        for (std::size_t i = 0; i < track_order.size(); ++i) {
+            jw.beginObject();
+            jw.kv("name", "thread_name");
+            jw.kv("ph", "M");
+            jw.kv("pid", 0);
+            jw.kv("tid", tids[track_order[i]]);
+            jw.key("args").beginObject();
+            jw.kv("name", track_order[i]);
+            jw.endObject();
+            jw.endObject();
+        }
+        for (const JsonEvent &ev : events) {
+            jw.beginObject();
+            jw.kv("name", ev.name);
+            jw.kv("cat", ev.track);
+            jw.kv("ph", ev.instant ? "i" : "X");
+            jw.kv("ts", ev.ts);
+            if (!ev.instant)
+                jw.kv("dur", ev.dur);
+            else
+                jw.kv("s", "t");
+            jw.kv("pid", 0);
+            jw.kv("tid", tids[ev.track]);
+            if (!ev.args.empty()) {
+                jw.key("args").beginObject();
+                for (const SpanArg &arg : ev.args)
+                    jw.kv(arg.key, arg.value);
+                jw.endObject();
+            }
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+        os << "\n";
+        os.flush();
+        events.clear();
+    }
+};
+
+TraceJsonState &
+state()
+{
+    static TraceJsonState instance;
+    return instance;
+}
+
+void
+loadEnvOnce()
+{
+    TraceJsonState &s = state();
+    if (s.envLoaded)
+        return;
+    s.envLoaded = true;
+    const char *env = std::getenv("CSBSIM_TRACE_JSON");
+    if (env && *env)
+        jsonEnableFile(env);
+}
+
+} // namespace
+
+bool
+jsonEnabled()
+{
+    loadEnvOnce();
+    return state().out != nullptr;
+}
+
+void
+jsonEnable(std::ostream *os)
+{
+    TraceJsonState &s = state();
+    s.envLoaded = true; // explicit control overrides lazy env load
+    s.file.reset();
+    s.out = os;
+}
+
+void
+jsonEnableFile(const std::string &path)
+{
+    TraceJsonState &s = state();
+    s.envLoaded = true;
+    if (path.empty()) {
+        jsonDisable();
+        return;
+    }
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!file->is_open()) {
+        std::fprintf(stderr,
+                     "csbsim: cannot open CSBSIM_TRACE_JSON file '%s'\n",
+                     path.c_str());
+        return;
+    }
+    s.file = std::move(file);
+    s.out = s.file.get();
+}
+
+void
+jsonDisable()
+{
+    TraceJsonState &s = state();
+    s.envLoaded = true;
+    s.events.clear();
+    s.out = nullptr;
+    s.file.reset();
+}
+
+void
+jsonFlush()
+{
+    TraceJsonState &s = state();
+    if (s.out == nullptr) {
+        s.events.clear();
+        return;
+    }
+    s.flushTo(*s.out);
+}
+
+std::size_t
+jsonPendingEvents()
+{
+    return state().events.size();
+}
+
+void
+jsonSpan(const std::string &track, const std::string &name,
+         Tick start, Tick end, std::vector<SpanArg> args)
+{
+    if (!jsonEnabled())
+        return;
+    Tick dur = end > start ? end - start : 1;
+    state().events.push_back(
+        {track, name, start, dur, false, std::move(args)});
+}
+
+void
+jsonInstant(const std::string &track, const std::string &name,
+            Tick ts, std::vector<SpanArg> args)
+{
+    if (!jsonEnabled())
+        return;
+    state().events.push_back({track, name, ts, 0, true, std::move(args)});
+}
+
+std::string
+hexArg(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace csb::sim::trace

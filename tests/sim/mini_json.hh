@@ -1,0 +1,281 @@
+/**
+ * @file
+ * A tiny recursive-descent JSON parser for tests that validate the
+ * simulator's JSON emitters (stats export, Chrome traces, bench
+ * artifacts).  Strict enough to reject malformed output; not a
+ * general-purpose library.
+ */
+
+#ifndef CSB_TESTS_MINI_JSON_HH
+#define CSB_TESTS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mini_json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member access; throws when absent or not an object. */
+    const Value &
+    at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("not an object");
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return *it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    run()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const std::string &lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u digit");
+                }
+                // Tests only use BMP escapes; encode as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        char c = peek();
+        Value v;
+        if (c == '{') {
+            ++pos_;
+            v.kind = Value::Kind::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                std::string key = (skipWs(), parseString());
+                expect(':');
+                if (!v.object
+                         .emplace(key, std::make_shared<Value>(
+                                           parseValue()))
+                         .second) {
+                    fail("duplicate key: " + key);
+                }
+                char n = peek();
+                ++pos_;
+                if (n == '}')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind = Value::Kind::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(
+                    std::make_shared<Value>(parseValue()));
+                char n = peek();
+                ++pos_;
+                if (n == ']')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            v.kind = Value::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.kind = Value::Kind::Bool;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        // Number.
+        std::size_t start = pos_;
+        if (c == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("unexpected character");
+        char *end = nullptr;
+        std::string body = text_.substr(start, pos_ - start);
+        v.kind = Value::Kind::Number;
+        v.number = std::strtod(body.c_str(), &end);
+        if (end != body.c_str() + body.size())
+            fail("malformed number: " + body);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse a complete document; throws std::runtime_error on error. */
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace mini_json
+
+#endif // CSB_TESTS_MINI_JSON_HH

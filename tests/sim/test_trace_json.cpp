@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the Chrome trace-event JSON writer: document
+ * validity, monotonic timestamps after flush, track/thread metadata,
+ * span and instant fields, and enable/disable state handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/trace_json.hh"
+
+#include "mini_json.hh"
+
+namespace {
+
+using namespace csb::sim::trace;
+
+/** RAII guard: point the writer at a stream, always disable after. */
+class TraceCapture
+{
+  public:
+    TraceCapture() { jsonEnable(&os_); }
+    ~TraceCapture() { jsonDisable(); }
+
+    mini_json::Value
+    flushAndParse()
+    {
+        jsonFlush();
+        return mini_json::parse(os_.str());
+    }
+
+    std::string text() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+TEST(TraceJson, DisabledByDefaultAndCostsNothing)
+{
+    // No capture active: emission must be a no-op, not a crash.
+    jsonDisable();
+    EXPECT_FALSE(jsonEnabled());
+    jsonSpan("bus", "write", 0, 10);
+    EXPECT_EQ(jsonPendingEvents(), 0u);
+}
+
+TEST(TraceJson, ProducesAValidDocument)
+{
+    TraceCapture capture;
+    EXPECT_TRUE(jsonEnabled());
+    jsonSpan("bus", "write 64B", 10, 19,
+             {{"addr", "0x1000"}, {"master", "csb.port"}});
+    jsonInstant("dev", "burst 64B", 19, {{"device", "dev"}});
+    EXPECT_EQ(jsonPendingEvents(), 2u);
+
+    mini_json::Value doc = capture.flushAndParse();
+    EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    // 2 thread_name metadata records + the two events.
+    EXPECT_EQ(doc.at("traceEvents").array.size(), 4u);
+    EXPECT_EQ(jsonPendingEvents(), 0u); // flush cleared the buffer
+}
+
+TEST(TraceJson, SpanFieldsAreComplete)
+{
+    TraceCapture capture;
+    jsonSpan("bus", "write 64B", 10, 19, {{"addr", "0x1000"}});
+    mini_json::Value doc = capture.flushAndParse();
+
+    const mini_json::Value *span = nullptr;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev->at("ph").string == "X")
+            span = ev.get();
+    }
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->at("name").string, "write 64B");
+    EXPECT_EQ(span->at("cat").string, "bus");
+    EXPECT_DOUBLE_EQ(span->at("ts").number, 10.0);
+    EXPECT_DOUBLE_EQ(span->at("dur").number, 9.0);
+    EXPECT_EQ(span->at("args").at("addr").string, "0x1000");
+}
+
+TEST(TraceJson, ZeroLengthSpanGetsMinimumDuration)
+{
+    TraceCapture capture;
+    jsonSpan("bus", "tiny", 5, 5);
+    mini_json::Value doc = capture.flushAndParse();
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev->at("ph").string == "X")
+            EXPECT_GE(ev->at("dur").number, 1.0);
+    }
+}
+
+TEST(TraceJson, TimestampsAreMonotonicAfterFlush)
+{
+    TraceCapture capture;
+    // Emit deliberately out of order; flush must sort by ts.
+    jsonSpan("bus", "third", 30, 40);
+    jsonInstant("dev", "first", 1);
+    jsonSpan("csb", "second", 12, 20);
+    mini_json::Value doc = capture.flushAndParse();
+
+    double last_ts = -1;
+    unsigned events = 0;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev->at("ph").string == "M")
+            continue; // metadata carries no timestamp
+        ++events;
+        EXPECT_GE(ev->at("ts").number, last_ts);
+        last_ts = ev->at("ts").number;
+    }
+    EXPECT_EQ(events, 3u);
+    EXPECT_DOUBLE_EQ(last_ts, 30.0);
+}
+
+TEST(TraceJson, TracksBecomeNamedThreads)
+{
+    TraceCapture capture;
+    jsonSpan("bus", "a", 0, 1);
+    jsonSpan("csb", "b", 2, 3);
+    jsonSpan("bus", "c", 4, 5);
+    mini_json::Value doc = capture.flushAndParse();
+
+    std::map<double, std::string> tid_names;
+    std::map<std::string, double> span_tids;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev->at("ph").string == "M") {
+            EXPECT_EQ(ev->at("name").string, "thread_name");
+            tid_names[ev->at("tid").number] =
+                ev->at("args").at("name").string;
+        } else {
+            span_tids[ev->at("name").string] = ev->at("tid").number;
+        }
+    }
+    ASSERT_EQ(tid_names.size(), 2u);
+    // Same track -> same tid; different tracks -> different tids.
+    EXPECT_EQ(span_tids.at("a"), span_tids.at("c"));
+    EXPECT_NE(span_tids.at("a"), span_tids.at("b"));
+    EXPECT_EQ(tid_names.at(span_tids.at("a")), "bus");
+    EXPECT_EQ(tid_names.at(span_tids.at("b")), "csb");
+}
+
+TEST(TraceJson, InstantEventsCarryScope)
+{
+    TraceCapture capture;
+    jsonInstant("csb", "flush-fail", 7,
+                {{"expected", "8"}, {"counter", "3"}});
+    mini_json::Value doc = capture.flushAndParse();
+    bool found = false;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev->at("ph").string != "i")
+            continue;
+        found = true;
+        EXPECT_EQ(ev->at("name").string, "flush-fail");
+        EXPECT_DOUBLE_EQ(ev->at("ts").number, 7.0);
+        EXPECT_EQ(ev->at("s").string, "t");
+        EXPECT_EQ(ev->at("args").at("expected").string, "8");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TraceJson, DisableDropsBufferedEvents)
+{
+    {
+        TraceCapture capture;
+        jsonSpan("bus", "dropped", 0, 1);
+        EXPECT_EQ(jsonPendingEvents(), 1u);
+    } // ~TraceCapture -> jsonDisable()
+    EXPECT_FALSE(jsonEnabled());
+    EXPECT_EQ(jsonPendingEvents(), 0u);
+}
+
+TEST(TraceJson, HexArgFormats)
+{
+    EXPECT_EQ(hexArg(0x22000000u), "0x22000000");
+    EXPECT_EQ(hexArg(0), "0x0");
+}
+
+} // namespace

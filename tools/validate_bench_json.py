@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a csbsim bench artifact against tools/bench_schema.json.
+
+Implements the small JSON-Schema subset the schema actually uses
+(type / const / required / properties / items) with the Python
+standard library only, so the check runs anywhere the simulator
+builds -- no jsonschema package required.
+
+Usage: validate_bench_json.py <artifact.json> [<schema.json>]
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import pathlib
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected, path):
+    if expected == "number":
+        # bool is an int subclass; a bare true/false is not a number.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{path}: expected number, got "
+                             f"{type(value).__name__}")
+        return
+    if expected == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{path}: expected integer, got "
+                             f"{type(value).__name__}")
+        return
+    py = _TYPES.get(expected)
+    if py is None:
+        raise ValueError(f"{path}: schema uses unsupported type "
+                         f"'{expected}'")
+    if expected != "null" and isinstance(value, bool) and py is not bool:
+        raise ValueError(f"{path}: expected {expected}, got bool")
+    if not isinstance(value, py):
+        raise ValueError(f"{path}: expected {expected}, got "
+                         f"{type(value).__name__}")
+
+
+def validate(value, schema, path="$"):
+    """Recursively check `value` against the schema subset."""
+    if "const" in schema:
+        if value != schema["const"]:
+            raise ValueError(f"{path}: expected constant "
+                             f"{schema['const']!r}, got {value!r}")
+        return
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise ValueError(f"{path}: missing required key "
+                                 f"{key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    artifact_path = pathlib.Path(argv[1])
+    schema_path = (pathlib.Path(argv[2]) if len(argv) == 3 else
+                   pathlib.Path(__file__).resolve().parent /
+                   "bench_schema.json")
+    try:
+        artifact = json.loads(artifact_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {artifact_path}: {err}",
+              file=sys.stderr)
+        return 1
+    schema = json.loads(schema_path.read_text())
+    try:
+        validate(artifact, schema)
+    except ValueError as err:
+        print(f"error: {artifact_path}: {err}", file=sys.stderr)
+        return 1
+    tables = artifact.get("tables", [])
+    for t, table in enumerate(tables):
+        width = len(table["columns"])
+        for r, row in enumerate(table["rows"]):
+            if len(row["values"]) != width:
+                print(f"error: {artifact_path}: tables[{t}].rows[{r}] "
+                      f"has {len(row['values'])} values for {width} "
+                      f"columns", file=sys.stderr)
+                return 1
+    print(f"{artifact_path}: OK ({artifact['name']}, "
+          f"{len(tables)} table(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
