@@ -28,6 +28,20 @@ class BusTarget
     virtual const std::string &targetName() const = 0;
 
     /**
+     * Flow control: asked at completion (writes) or at the end of the
+     * address cycle (reads) whether the target takes the transaction.
+     * Returning Nack tells the master to retry with backoff; Error is
+     * non-retryable.  The default always accepts, so ordinary targets
+     * need not care.
+     */
+    virtual BusStatus accept(const BusTransaction &txn, Tick now)
+    {
+        (void)txn;
+        (void)now;
+        return BusStatus::Ok;
+    }
+
+    /**
      * A write transaction has fully transferred.
      * @param txn  the completed transaction (data included)
      * @param now  CPU tick of completion

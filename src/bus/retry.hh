@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bounded exponential backoff shared by every bus master.
+ *
+ * The schedule is fully deterministic (no jitter): attempt k waits
+ * initialBackoffTicks * multiplier^k ticks, capped at maxBackoffTicks,
+ * and a master that exhausts maxAttempts raises a FatalError rather
+ * than spinning forever.  Determinism matters more than decorrelation
+ * here -- the simulator's round-robin arbitration already breaks ties,
+ * and identical runs must stay bit-identical.
+ */
+
+#ifndef CSB_BUS_RETRY_HH
+#define CSB_BUS_RETRY_HH
+
+#include <algorithm>
+
+#include "sim/types.hh"
+
+namespace csb::bus {
+
+/** Retry schedule for NACKed bus transactions. */
+struct RetryPolicy
+{
+    /** Delay before the first retry, in CPU ticks. */
+    Tick initialBackoffTicks = 16;
+    /** Geometric growth factor per failed attempt. */
+    unsigned multiplier = 2;
+    /** Upper bound on the per-attempt delay. */
+    Tick maxBackoffTicks = 4096;
+    /** Attempts (including the first) before giving up fatally. */
+    unsigned maxAttempts = 16;
+
+    /** Backoff before retry number @p attempt (first retry is 1). */
+    Tick
+    backoffFor(unsigned attempt) const
+    {
+        Tick delay = initialBackoffTicks;
+        for (unsigned i = 1; i < attempt && delay < maxBackoffTicks; ++i)
+            delay *= multiplier;
+        return std::min(delay, maxBackoffTicks);
+    }
+};
+
+} // namespace csb::bus
+
+#endif // CSB_BUS_RETRY_HH

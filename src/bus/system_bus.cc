@@ -19,6 +19,17 @@ txnKindName(TxnKind kind)
     return "?";
 }
 
+const char *
+busStatusName(BusStatus status)
+{
+    switch (status) {
+      case BusStatus::Ok: return "ok";
+      case BusStatus::Nack: return "nack";
+      case BusStatus::Error: return "error";
+    }
+    return "?";
+}
+
 std::string
 BusTransaction::toString() const
 {
@@ -58,6 +69,10 @@ SystemBus::SystemBus(sim::Simulator &simulator, const BusParams &params,
       txnLatencyCycles(this, "txnLatencyCycles",
                        "bus cycles from request to completion",
                        0, 128, 4),
+      numNacks(this, "numNacks",
+               "transactions completed with a NACK status"),
+      numErrors(this, "numErrors",
+                "transactions completed with an error status"),
       utilization(this, "utilization",
                   "busy fraction of elapsed bus cycles",
                   [this] {
@@ -120,8 +135,37 @@ SystemBus::findTarget(Addr addr, unsigned size) const
         if (addr >= range.base && addr + size <= range.base + range.size)
             return range.target;
     }
-    csb_panic("no bus target for addr 0x", std::hex, addr, std::dec,
-              " size ", size);
+    return nullptr;
+}
+
+void
+SystemBus::unmappedAbort(const BusTransaction &txn) const
+{
+    csb_panic("no bus target for addr 0x", std::hex, txn.addr, std::dec,
+              " size ", txn.size, " (", txnKindName(txn.kind),
+              " issued by master '", masterNames_[txn.master],
+              "'; set BusParams::errorResponses to deliver a bus error "
+              "instead of aborting)");
+}
+
+BusStatus
+SystemBus::noteFailure(const BusTransaction &txn, BusStatus status,
+                       Tick when)
+{
+    if (status == BusStatus::Nack)
+        numNacks += 1;
+    else if (status == BusStatus::Error)
+        numErrors += 1;
+    sim::trace::log("bus", busStatusName(status), " completion ",
+                    txn.toString());
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonInstant(
+            "bus", std::string("bus-") + busStatusName(status), when,
+            {{"addr", sim::trace::hexArg(txn.addr)},
+             {"master", masterNames_[txn.master]},
+             {"kind", txnKindName(txn.kind)}});
+    }
+    return status;
 }
 
 bool
@@ -145,7 +189,13 @@ SystemBus::requestWrite(MasterId master, Addr addr,
     req.onStart = std::move(on_start);
     req.requestTick = sim_.curTick();
     checkTransaction(req.txn);
-    findTarget(addr, req.txn.size); // fail fast on unmapped addresses
+    if (!findTarget(addr, req.txn.size)) {
+        // Fail fast on unmapped addresses unless the configuration
+        // asks for a bus error response instead.
+        if (!params_.errorResponses)
+            unmappedAbort(req.txn);
+        req.unmapped = true;
+    }
     slots_[master] = std::move(req);
     return true;
 }
@@ -169,7 +219,11 @@ SystemBus::requestRead(MasterId master, Addr addr, unsigned size,
     req.onStart = std::move(on_start);
     req.requestTick = sim_.curTick();
     checkTransaction(req.txn);
-    findTarget(addr, size);
+    if (!findTarget(addr, size)) {
+        if (!params_.errorResponses)
+            unmappedAbort(req.txn);
+        req.unmapped = true;
+    }
     slots_[master] = std::move(req);
     return true;
 }
@@ -312,7 +366,7 @@ SystemBus::tryStartResponse(std::uint64_t c)
         [this, done = std::move(done), when = rec.completionTick]() {
             --inFlight_;
             if (done.onRead)
-                done.onRead(when, done.txn.data);
+                done.onRead(when, BusStatus::Ok, done.txn.data);
         });
     return true;
 }
@@ -389,6 +443,19 @@ SystemBus::startWrite(Request &req, std::uint64_t c)
     }
     rec.completionTick = clockDomain().tickOfCycle(rec.lastDataCycle + 1);
 
+    // Injected faults are decided when the tenure starts; drawing here
+    // rather than at completion keeps the record and the trace able to
+    // show the outcome, and is equally deterministic.
+    BusStatus preset = BusStatus::Ok;
+    if (req.unmapped)
+        preset = BusStatus::Error;
+    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError))
+        preset = BusStatus::Error;
+    else if (injector_ &&
+             injector_->shouldFault(sim::FaultSite::BusWriteNack))
+        preset = BusStatus::Nack;
+    rec.status = preset;
+
     if (req.txn.stronglyOrdered)
         lastOrderedAddrCycle_[req.txn.master] = static_cast<std::int64_t>(c);
 
@@ -400,6 +467,7 @@ SystemBus::startWrite(Request &req, std::uint64_t c)
         static_cast<double>(rec.completionTick - rec.requestTick) /
         clockDomain().period());
     ++inFlight_;
+    sim_.noteProgress();
     sim::trace::log("bus", "write start cycle=", c, " ",
                     req.txn.toString());
 
@@ -418,12 +486,21 @@ SystemBus::startWrite(Request &req, std::uint64_t c)
     BusTarget *target = findTarget(req.txn.addr, req.txn.size);
     sim_.eventQueue().scheduleFunc(
         rec.completionTick,
-        [this, target, txn = std::move(req.txn),
-         cb = std::move(req.onWrite), when = rec.completionTick]() {
+        [this, target, preset, txn = std::move(req.txn),
+         cb = std::move(req.onWrite), when = rec.completionTick]() mutable {
             --inFlight_;
-            target->write(txn, when);
+            BusStatus status = preset;
+            // Target flow control only matters for transfers the wire
+            // actually carried intact.
+            if (status == BusStatus::Ok)
+                status = target->accept(txn, when);
+            txn.status = status;
+            if (status == BusStatus::Ok)
+                target->write(txn, when);
+            else
+                noteFailure(txn, status, when);
             if (cb)
-                cb(when);
+                cb(when, status);
         });
 }
 
@@ -445,6 +522,16 @@ SystemBus::startRead(Request &req, std::uint64_t c)
     rec.requestTick = req.requestTick;
     rec.completionTick = clockDomain().tickOfCycle(c + 1);
 
+    BusStatus preset = BusStatus::Ok;
+    if (req.unmapped)
+        preset = BusStatus::Error;
+    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError))
+        preset = BusStatus::Error;
+    else if (injector_ &&
+             injector_->shouldFault(sim::FaultSite::BusReadNack))
+        preset = BusStatus::Nack;
+    rec.status = preset;
+
     addrNextFree_ = c + 1 +
         (params_.kind == BusKind::Multiplexed ? params_.turnaround : 0);
     busyDataCycles += 1;
@@ -456,6 +543,7 @@ SystemBus::startRead(Request &req, std::uint64_t c)
 
     monitor_.record(rec);
     ++inFlight_;
+    sim_.noteProgress();
     sim::trace::log("bus", "read start cycle=", c, " ",
                     req.txn.toString());
 
@@ -475,8 +563,22 @@ SystemBus::startRead(Request &req, std::uint64_t c)
     Tick addr_end = clockDomain().tickOfCycle(c + 1);
     sim_.eventQueue().scheduleFunc(
         addr_end,
-        [this, target, req = std::move(req), addr_cycle = c,
+        [this, target, preset, req = std::move(req), addr_cycle = c,
          addr_end]() mutable {
+            BusStatus status = preset;
+            if (status == BusStatus::Ok)
+                status = target->accept(req.txn, addr_end);
+            if (status != BusStatus::Ok) {
+                // A NACKed/errored read never occupies a response
+                // tenure: the master learns at the address-cycle end
+                // and must retry (or give up) itself.
+                --inFlight_;
+                req.txn.status = status;
+                noteFailure(req.txn, status, addr_end);
+                if (req.onRead)
+                    req.onRead(addr_end, status, {});
+                return;
+            }
             std::vector<std::uint8_t> data;
             Tick latency = target->read(req.txn, addr_end, data);
             csb_assert(data.size() == req.txn.size,
@@ -491,6 +593,20 @@ SystemBus::startRead(Request &req, std::uint64_t c)
             resp.requestTick = req.requestTick;
             responses_.push_back(std::move(resp));
         });
+}
+
+void
+SystemBus::debugDump(std::ostream &os) const
+{
+    unsigned waiting = 0;
+    for (const auto &slot : slots_) {
+        if (slot.has_value())
+            ++waiting;
+    }
+    os << "inFlight=" << inFlight_ << " pendingRequests=" << waiting
+       << " pendingResponses=" << responses_.size()
+       << " addrNextFree=" << addrNextFree_ << " curCycle="
+       << curBusCycle();
 }
 
 std::unique_ptr<SystemBus>

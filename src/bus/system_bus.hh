@@ -37,6 +37,7 @@
 #include "bus_monitor.hh"
 #include "bus_target.hh"
 #include "sim/clocked.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "transaction.hh"
@@ -64,16 +65,29 @@ struct BusParams
     unsigned ackDelay = 0;
     /** Largest legal burst (one cache line). */
     unsigned maxBurstBytes = 64;
+    /**
+     * Run the full error/retry protocol: a transaction to an unmapped
+     * address completes with BusStatus::Error delivered to the master
+     * instead of aborting the process, targets are expected to NACK
+     * via accept(), and strongly-ordered masters serialize their
+     * streams against retry hazards (see ordersMustSerialize()).
+     */
+    bool errorResponses = false;
 
     /** Throws FatalError when inconsistent. */
     void validate() const;
 };
 
-/** Invoked when a write transaction has fully transferred. */
-using WriteCallback = std::function<void(Tick completion_tick)>;
-/** Invoked when read data has been returned over the bus. */
+/** Invoked when a write transaction has fully transferred (or failed). */
+using WriteCallback =
+    std::function<void(Tick completion_tick, BusStatus status)>;
+/**
+ * Invoked when read data has been returned over the bus.  On Nack or
+ * Error the data vector is empty and the master should retry (Nack)
+ * or give up (Error).
+ */
 using ReadCallback =
-    std::function<void(Tick completion_tick,
+    std::function<void(Tick completion_tick, BusStatus status,
                        const std::vector<std::uint8_t> &data)>;
 /** Invoked when the request's address cycle is driven (txn started). */
 using StartCallback = std::function<void(Tick start_tick)>;
@@ -141,7 +155,35 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     BusMonitor &monitor() { return monitor_; }
     const BusMonitor &monitor() const { return monitor_; }
 
+    /**
+     * Attach the system's fault injector (null to detach).  The bus
+     * consults the BusWriteNack / BusReadNack / BusError sites.
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** The attached fault injector, or null. */
+    const sim::FaultInjector *faultInjector() const { return injector_; }
+
+    /**
+     * True when attached masters must serialize their strongly-ordered
+     * streams: a NACK is only discovered at completion, so with NACKs
+     * possible (an injector with bus faults, or errorResponses mode
+     * where targets may refuse) a master may not pipeline a younger
+     * ordered transaction behind one whose status is still unknown
+     * (the retry would land after its younger neighbour).
+     */
+    bool ordersMustSerialize() const
+    {
+        return params_.errorResponses ||
+               (injector_ && injector_->plan().busFaultsEnabled());
+    }
+
     void tick() override;
+
+    void debugDump(std::ostream &os) const override;
 
     // Statistics (public for the harness; gem5 naming convention says
     // stats are part of the visible interface).
@@ -155,6 +197,10 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar turnaroundCycles;
     /** Bus cycles from request presentation to transfer completion. */
     sim::stats::Distribution txnLatencyCycles;
+    /** Transactions completed with BusStatus::Nack. */
+    sim::stats::Scalar numNacks;
+    /** Transactions completed with BusStatus::Error. */
+    sim::stats::Scalar numErrors;
     /** busyDataCycles over elapsed bus cycles (computed on demand). */
     sim::stats::Formula utilization;
 
@@ -166,6 +212,8 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
         ReadCallback onRead;
         StartCallback onStart;
         Tick requestTick = 0;
+        /** Address matched no target; completes with Error. */
+        bool unmapped = false;
     };
 
     struct PendingResponse
@@ -187,7 +235,15 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     /** Validate size/alignment; panics on protocol violations. */
     void checkTransaction(const BusTransaction &txn) const;
 
+    /** @return the mapped target, or null when the range is unmapped. */
     BusTarget *findTarget(Addr addr, unsigned size) const;
+
+    /** Abort with a diagnostic naming the issuing master. */
+    [[noreturn]] void unmappedAbort(const BusTransaction &txn) const;
+
+    /** Count + trace a failed completion; @return the status. */
+    BusStatus noteFailure(const BusTransaction &txn, BusStatus status,
+                          Tick when);
 
     /** @return true when master @p m may start an ordered txn at @p c. */
     bool orderingAllows(const Request &req, std::uint64_t c) const;
@@ -214,6 +270,8 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     std::size_t lastGranted_ = 0;
     /** Transactions started but not yet completed. */
     unsigned inFlight_ = 0;
+    /** Optional fault injector (not owned). */
+    sim::FaultInjector *injector_ = nullptr;
 
     BusMonitor monitor_;
 };

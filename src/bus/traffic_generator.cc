@@ -16,6 +16,9 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &simulator,
       writes(this, "writes", "background write transactions"),
       bytesMoved(this, "bytesMoved", "background bytes moved"),
       retries(this, "retries", "issue attempts the bus deferred"),
+      busNacks(this, "busNacks", "transactions NACKed on the bus"),
+      busRetries(this, "busRetries",
+                 "NACKed transactions reissued after backoff"),
       sim_(simulator), bus_(bus), params_(params),
       rng_(params.seed)
 {
@@ -28,6 +31,17 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &simulator,
 void
 TrafficGenerator::tick()
 {
+    // A NACKed transaction waiting out its backoff takes precedence
+    // over new traffic (and is serviced even after stop()).
+    if (redo_) {
+        if (sim_.curTick() < redo_->earliest || !bus_.masterIdle(masterId_))
+            return;
+        Redo redo = *redo_;
+        redo_.reset();
+        issue(redo.addr, redo.isWrite, redo.attempt);
+        return;
+    }
+
     if (!running_)
         return;
     auto cycle = static_cast<double>(bus_.curBusCycle());
@@ -44,27 +58,63 @@ TrafficGenerator::tick()
                 rng_.uniform(0, span - 1) * params_.txnBytes;
     bool is_write = rng_.uniform01() < params_.writeFraction;
 
-    if (is_write) {
-        std::vector<std::uint8_t> data(params_.txnBytes, 0xb6);
-        bool ok = bus_.requestWrite(masterId_, addr, std::move(data),
-                                    /*strongly_ordered=*/false,
-                                    /*on_complete=*/{});
-        csb_assert(ok, "traffic write refused despite idle master");
+    issue(addr, is_write, /*attempt=*/0);
+    if (is_write)
         writes += 1;
-    } else {
-        bool ok = bus_.requestRead(
-            masterId_, addr, params_.txnBytes,
-            /*strongly_ordered=*/false,
-            [](Tick, const std::vector<std::uint8_t> &) {});
-        csb_assert(ok, "traffic read refused despite idle master");
+    else
         reads += 1;
-    }
     bytesMoved += params_.txnBytes;
 
     // Schedule the next attempt with +/-50% jitter around the mean
     // interval so the load does not phase-lock with the victim.
     double jitter = 0.5 + rng_.uniform01();
     nextIssueCycle_ = cycle + params_.interval * jitter;
+}
+
+void
+TrafficGenerator::issue(Addr addr, bool is_write, unsigned attempt)
+{
+    if (is_write) {
+        std::vector<std::uint8_t> data(params_.txnBytes, 0xb6);
+        bool ok = bus_.requestWrite(
+            masterId_, addr, std::move(data),
+            /*strongly_ordered=*/false,
+            [this, addr, attempt](Tick when, BusStatus status) {
+                onCompletion(addr, true, attempt, when, status);
+            });
+        csb_assert(ok, "traffic write refused despite idle master");
+    } else {
+        bool ok = bus_.requestRead(
+            masterId_, addr, params_.txnBytes,
+            /*strongly_ordered=*/false,
+            [this, addr, attempt](Tick when, BusStatus status,
+                                  const std::vector<std::uint8_t> &) {
+                onCompletion(addr, false, attempt, when, status);
+            });
+        csb_assert(ok, "traffic read refused despite idle master");
+    }
+}
+
+void
+TrafficGenerator::onCompletion(Addr addr, bool is_write, unsigned attempt,
+                               Tick when, BusStatus status)
+{
+    if (status == BusStatus::Ok)
+        return;
+    if (status == BusStatus::Error) {
+        csb_fatal("traffic generator ", sim::Clocked::name(),
+                  ": bus error on ", is_write ? "write" : "read",
+                  " at 0x", std::hex, addr);
+    }
+    busNacks += 1;
+    if (attempt + 1 >= params_.retry.maxAttempts) {
+        csb_fatal("traffic generator ", sim::Clocked::name(),
+                  ": retries exhausted (", params_.retry.maxAttempts,
+                  ") at 0x", std::hex, addr);
+    }
+    busRetries += 1;
+    redo_ = Redo{is_write, addr, attempt + 1,
+                 when + params_.retry.backoffFor(attempt + 1)};
 }
 
 } // namespace csb::bus

@@ -13,8 +13,10 @@
 #ifndef CSB_BUS_TRAFFIC_GENERATOR_HH
 #define CSB_BUS_TRAFFIC_GENERATOR_HH
 
+#include <optional>
 #include <string>
 
+#include "retry.hh"
 #include "sim/clocked.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
@@ -42,6 +44,8 @@ struct TrafficGeneratorParams
     double interval = 4.0;
     /** RNG seed (deterministic). */
     std::uint64_t seed = 12345;
+    /** Backoff schedule for NACKed transactions. */
+    RetryPolicy retry;
 };
 
 /** Background-load bus master. */
@@ -65,8 +69,25 @@ class TrafficGenerator : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar writes;
     sim::stats::Scalar bytesMoved;
     sim::stats::Scalar retries;
+    /** Transactions NACKed on the bus. */
+    sim::stats::Scalar busNacks;
+    /** NACKed transactions reissued after backoff. */
+    sim::stats::Scalar busRetries;
 
   private:
+    /** A NACKed transaction waiting out its backoff. */
+    struct Redo
+    {
+        bool isWrite = false;
+        Addr addr = 0;
+        unsigned attempt = 0;
+        Tick earliest = 0;
+    };
+
+    void issue(Addr addr, bool is_write, unsigned attempt);
+    void onCompletion(Addr addr, bool is_write, unsigned attempt,
+                      Tick when, BusStatus status);
+
     sim::Simulator &sim_;
     SystemBus &bus_;
     TrafficGeneratorParams params_;
@@ -75,6 +96,7 @@ class TrafficGenerator : public sim::Clocked, public sim::stats::StatGroup
     bool running_ = false;
     /** Next bus cycle at which to attempt an issue. */
     double nextIssueCycle_ = 0;
+    std::optional<Redo> redo_;
 };
 
 } // namespace csb::bus

@@ -25,6 +25,20 @@ enum class TxnKind : std::uint8_t {
 const char *txnKindName(TxnKind kind);
 
 /**
+ * Completion status delivered to the master with its callback.
+ * Nack means the target (or the fault injector) refused the transfer
+ * and the master should retry with backoff; Error is non-retryable
+ * (e.g. an unmapped address with error responses enabled).
+ */
+enum class BusStatus : std::uint8_t {
+    Ok,
+    Nack,
+    Error,
+};
+
+const char *busStatusName(BusStatus status);
+
+/**
  * One bus transaction.  Sizes are powers of two between one byte and
  * the maximum burst (cache line) and must be naturally aligned; the
  * bus enforces both (paper section 4.1).
@@ -46,6 +60,8 @@ struct BusTransaction
     std::vector<std::uint8_t> data;
     /** Unique id assigned by the bus at start. */
     std::uint64_t id = 0;
+    /** Completion status (set by the bus before callbacks fire). */
+    BusStatus status = BusStatus::Ok;
 
     std::string toString() const;
 };
@@ -69,6 +85,13 @@ struct TxnRecord
     Tick requestTick = 0;
     /** CPU tick at which the transaction completed. */
     Tick completionTick = 0;
+    /**
+     * Status as decided when the tenure started (unmapped addresses
+     * and injected faults).  A target NACK decided at completion time
+     * is reflected in the master's callback and the bus stats, not
+     * retroactively here.
+     */
+    BusStatus status = BusStatus::Ok;
 };
 
 } // namespace csb::bus

@@ -36,7 +36,16 @@ System::System(SystemConfig config)
 {
     config_.normalize();
 
+    if (config_.faults.enabled()) {
+        injector_ = std::make_unique<sim::FaultInjector>(config_.faults,
+                                                         "faults", this);
+    }
+    if (config_.watchdogTicks != 0)
+        sim_.setWatchdog(config_.watchdogTicks);
+
     bus_ = std::make_unique<bus::SystemBus>(sim_, config_.bus, "bus", this);
+    if (injector_)
+        bus_->setFaultInjector(injector_.get());
 
     mainMemory_ = std::make_unique<mem::MainMemory>(
         physMem_, config_.memReadLatency, "mem", this);
@@ -52,6 +61,8 @@ System::System(SystemConfig config)
         ni_ = std::make_unique<io::NetworkInterface>(
             sim_, *bus_, niBase, config_.ni, "ni", this);
         bus_->addTarget(niBase, io::NiMap::windowSize, ni_.get());
+        if (injector_)
+            ni_->setFaultInjector(injector_.get());
     }
 
     // Page attributes (section 3.1: encoded in page table entries).
@@ -102,44 +113,94 @@ System::buildCoreSlice(unsigned cpu)
         slice.missMaster =
             bus_->registerMaster("cachemiss" + suffix + ".port");
         MasterId miss_master = slice.missMaster;
+        bus::RetryPolicy miss_retry; // defaults; NACKs only under faults
         slice.caches->setLineFetch(
-            [this, miss_master](Addr line_addr,
-                                std::function<void(Tick)> done) {
+            [this, miss_master, miss_retry](Addr line_addr,
+                                            std::function<void(Tick)> done) {
                 // Retry until the miss port is free (overlapping
-                // misses serialize, as with a single MSHR).
-                auto attempt = std::make_shared<std::function<void()>>();
-                *attempt = [this, miss_master, line_addr,
-                            done = std::move(done), attempt]() {
+                // misses serialize, as with a single MSHR); a NACKed
+                // fetch reissues after backoff.
+                auto attempt =
+                    std::make_shared<std::function<void(unsigned)>>();
+                *attempt = [this, miss_master, line_addr, miss_retry,
+                            done = std::move(done),
+                            attempt](unsigned try_no) {
                     bool ok = bus_->requestRead(
                         miss_master, line_addr, config_.lineBytes,
                         /*strongly_ordered=*/false,
-                        [done](Tick when,
-                               const std::vector<std::uint8_t> &) {
-                            done(when);
+                        [this, done, attempt, try_no, miss_retry,
+                         line_addr](Tick when, bus::BusStatus status,
+                                    const std::vector<std::uint8_t> &) {
+                            if (status == bus::BusStatus::Ok) {
+                                done(when);
+                                // Break the attempt->attempt cycle.
+                                *attempt = {};
+                                return;
+                            }
+                            if (status == bus::BusStatus::Error) {
+                                csb_fatal("bus error on cache line "
+                                          "fetch at 0x", std::hex,
+                                          line_addr);
+                            }
+                            if (try_no + 1 >= miss_retry.maxAttempts) {
+                                csb_fatal("cache line fetch retries "
+                                          "exhausted at 0x", std::hex,
+                                          line_addr);
+                            }
+                            sim_.eventQueue().scheduleFunc(
+                                when + miss_retry.backoffFor(try_no + 1),
+                                [attempt, try_no] {
+                                    (*attempt)(try_no + 1);
+                                });
                         });
                     if (!ok) {
                         sim_.eventQueue().scheduleFunc(
-                            sim_.curTick() + 1, *attempt);
+                            sim_.curTick() + 1,
+                            [attempt, try_no] { (*attempt)(try_no); });
                     }
                 };
-                (*attempt)();
+                (*attempt)(0);
             });
-        slice.caches->setLineWriteback([this,
-                                        miss_master](Addr line_addr) {
+        slice.caches->setLineWriteback([this, miss_master,
+                                        miss_retry](Addr line_addr) {
             std::vector<std::uint8_t> data(config_.lineBytes);
             physMem_.read(line_addr, data.data(), data.size());
-            auto attempt = std::make_shared<std::function<void()>>();
-            *attempt = [this, miss_master, line_addr,
-                        data = std::move(data), attempt]() {
-                bool ok = bus_->requestWrite(miss_master, line_addr, data,
-                                             /*strongly_ordered=*/false,
-                                             /*on_complete=*/{});
+            auto attempt =
+                std::make_shared<std::function<void(unsigned)>>();
+            *attempt = [this, miss_master, line_addr, miss_retry,
+                        data = std::move(data), attempt](unsigned try_no) {
+                bool ok = bus_->requestWrite(
+                    miss_master, line_addr, data,
+                    /*strongly_ordered=*/false,
+                    /*on_complete=*/
+                    [this, attempt, try_no, miss_retry,
+                     line_addr](Tick when, bus::BusStatus status) {
+                        if (status == bus::BusStatus::Ok) {
+                            *attempt = {};
+                            return;
+                        }
+                        if (status == bus::BusStatus::Error) {
+                            csb_fatal("bus error on cache writeback "
+                                      "at 0x", std::hex, line_addr);
+                        }
+                        if (try_no + 1 >= miss_retry.maxAttempts) {
+                            csb_fatal("cache writeback retries "
+                                      "exhausted at 0x", std::hex,
+                                      line_addr);
+                        }
+                        sim_.eventQueue().scheduleFunc(
+                            when + miss_retry.backoffFor(try_no + 1),
+                            [attempt, try_no] {
+                                (*attempt)(try_no + 1);
+                            });
+                    });
                 if (!ok) {
-                    sim_.eventQueue().scheduleFunc(sim_.curTick() + 1,
-                                                   *attempt);
+                    sim_.eventQueue().scheduleFunc(
+                        sim_.curTick() + 1,
+                        [attempt, try_no] { (*attempt)(try_no); });
                 }
             };
-            (*attempt)();
+            (*attempt)(0);
         });
     }
 

@@ -98,6 +98,8 @@ class System : public sim::stats::StatGroup
     mem::PageTable &pageTable() { return pageTable_; }
     io::BurstDevice &device() { return *device_; }
     io::NetworkInterface *ni() { return ni_.get(); }
+    /** The fault injector, or null when the plan is all-zero. */
+    sim::FaultInjector *faults() { return injector_.get(); }
 
     const SystemConfig &config() const { return config_; }
 
@@ -127,6 +129,7 @@ class System : public sim::stats::StatGroup
     mem::PhysicalMemory physMem_;
     mem::PageTable pageTable_;
 
+    std::unique_ptr<sim::FaultInjector> injector_;
     std::unique_ptr<bus::SystemBus> bus_;
     std::unique_ptr<mem::MainMemory> mainMemory_;
     std::unique_ptr<io::BurstDevice> device_;

@@ -12,6 +12,7 @@
 #include "mem/cache.hh"
 #include "mem/csb.hh"
 #include "mem/uncached_buffer.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace csb::core {
@@ -71,6 +72,20 @@ struct SystemConfig
     /** Device register-read latency and burst capability. */
     Tick deviceReadLatency = 12;
     unsigned deviceMaxAccept = 128;
+
+    /**
+     * Seeded fault plan.  All-zero rates (the default) build no
+     * injector at all, keeping clean runs bit-identical to a build
+     * without the fault machinery.
+     */
+    sim::FaultPlan faults;
+
+    /**
+     * Forward-progress watchdog window in ticks: the run aborts with
+     * a diagnostic FatalError after this many ticks with no retire
+     * and no bus activity.  0 (default) disables the watchdog.
+     */
+    Tick watchdogTicks = 0;
 
     /** Propagate lineBytes; validate everything. */
     void normalize();

@@ -1,5 +1,7 @@
 #include "workloads.hh"
 
+#include <set>
+
 #include "io/network_interface.hh"
 #include "kernels.hh"
 #include "sim/logging.hh"
@@ -113,7 +115,8 @@ appendCsbSend(isa::Program &p, unsigned bytes, unsigned line_bytes)
 
 AppTrafficResult
 runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
-                   const std::vector<unsigned> &message_sizes)
+                   const std::vector<unsigned> &message_sizes,
+                   const sim::FaultPlan *faults)
 {
     SystemConfig cfg;
     cfg.lineBytes = setup.lineBytes;
@@ -121,6 +124,13 @@ runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
     cfg.enableCsb = use_csb;
     cfg.ubuf.combineBytes = 0; // conventional PIO baseline
     cfg.enableNi = true;
+    if (faults) {
+        cfg.faults = *faults;
+        // Protocol mode (and its ordered-stream serialization) only
+        // when bus faults can actually fire, so an all-zero or
+        // wire-only plan keeps bus timing identical to a clean run.
+        cfg.bus.errorResponses = faults->busFaultsEnabled();
+    }
     cfg.normalize();
     System system(cfg);
 
@@ -136,6 +146,13 @@ runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
     p.li(ir(1), static_cast<std::int64_t>(pio));
     p.li(ir(10), static_cast<std::int64_t>(lock_addr));
     p.li(ir(14), static_cast<std::int64_t>(bell));
+    // With bus NACKs possible the doorbell must be fenced before the
+    // next message's payload stores: the doorbell and the CSB payload
+    // flush travel on different bus masters, and a NACKed doorbell
+    // replaying after its backoff would otherwise be passed by the
+    // next message's line burst (posted-write ordering, as on real
+    // retrying buses, is software's problem).
+    bool fence_doorbell = faults && faults->busFaultsEnabled();
     p.mark(0);
     for (unsigned bytes : message_sizes) {
         if (use_csb) {
@@ -143,6 +160,8 @@ runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
         } else {
             appendLockedSend(p, bytes);
         }
+        if (fence_doorbell)
+            p.membar();
     }
     p.mark(1);
     p.halt();
@@ -160,6 +179,25 @@ runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
         result.totalCycles / static_cast<double>(result.messages);
     result.delivered =
         static_cast<unsigned>(system.ni()->delivered().size());
+
+    const io::NetworkInterface &ni = *system.ni();
+    result.busNacks = static_cast<std::uint64_t>(
+        system.bus().numNacks.value());
+    result.busRetries = static_cast<std::uint64_t>(
+        ni.busRetries.value() + system.uncachedBuffer().busRetries.value() +
+        (system.csb() ? system.csb()->busRetries.value() : 0));
+    result.retransmits =
+        static_cast<std::uint64_t>(ni.retransmits.value());
+    result.duplicatesSuppressed =
+        static_cast<std::uint64_t>(ni.duplicatesSuppressed.value());
+    result.checksumDiscards =
+        static_cast<std::uint64_t>(ni.checksumDiscards.value());
+
+    std::set<std::uint64_t> seqs;
+    for (const io::DeliveredMessage &msg : ni.delivered())
+        seqs.insert(msg.seq);
+    result.exactlyOnce = result.delivered == result.messages &&
+                         seqs.size() == ni.delivered().size();
     return result;
 }
 

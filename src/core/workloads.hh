@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "experiments.hh"
+#include "sim/fault.hh"
 #include "sim/random.hh"
 
 namespace csb::core {
@@ -78,16 +79,36 @@ struct AppTrafficResult
     double cyclesPerMessage = 0;
     /** Messages actually delivered by the NI (sanity). */
     unsigned delivered = 0;
+    /** Bus-level NACKs seen by any master (faults only). */
+    std::uint64_t busNacks = 0;
+    /** NACKed transactions reissued after backoff. */
+    std::uint64_t busRetries = 0;
+    /** Wire packets retransmitted after an ack timeout. */
+    std::uint64_t retransmits = 0;
+    /** Duplicate wire arrivals suppressed at the receiver. */
+    std::uint64_t duplicatesSuppressed = 0;
+    /** Wire arrivals discarded for a checksum mismatch. */
+    std::uint64_t checksumDiscards = 0;
+    /**
+     * True when every accepted message was delivered exactly once:
+     * the delivered count matches the send count and no sequence
+     * number appears twice in the receive log.
+     */
+    bool exactlyOnce = false;
 };
 
 /**
  * Send @p message_sizes.size() messages through the NI.
  * @param use_csb  CSB PIO (lock-free) when true, lock-protected PIO
  *                 with conventional uncached stores otherwise
+ * @param faults   optional seeded fault plan; non-null enables the
+ *                 injector (and, for wire faults, the reliable wire
+ *                 protocol) for the run
  */
 AppTrafficResult runMessageWorkload(
     const BandwidthSetup &setup, bool use_csb,
-    const std::vector<unsigned> &message_sizes);
+    const std::vector<unsigned> &message_sizes,
+    const sim::FaultPlan *faults = nullptr);
 
 /** Draw @p count sizes from @p dist. */
 std::vector<unsigned> drawSizes(MessageSizeDistribution dist,

@@ -509,6 +509,8 @@ Core::retireStage()
             break;
         ++retired;
     }
+    if (retired > 0)
+        sim_.noteProgress();
 }
 
 void

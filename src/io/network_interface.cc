@@ -7,6 +7,22 @@
 
 namespace csb::io {
 
+namespace {
+
+/** FNV-1a 64: cheap, deterministic, catches any single flipped byte. */
+std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : bytes) {
+        hash ^= b;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
 NetworkInterface::NetworkInterface(sim::Simulator &simulator,
                                    bus::SystemBus &bus, Addr base,
                                    const NetworkInterfaceParams &params,
@@ -21,6 +37,15 @@ NetworkInterface::NetworkInterface(sim::Simulator &simulator,
                         "DMA descriptors accepted"),
       wireBusyTicks(this, "wireBusyTicks",
                     "ticks the wire spent transmitting payload"),
+      busNacks(this, "busNacks", "DMA reads NACKed on the bus"),
+      busRetries(this, "busRetries",
+                 "NACKed DMA reads reissued after backoff"),
+      retransmits(this, "retransmits",
+                  "packets retransmitted after an ack timeout"),
+      duplicatesSuppressed(this, "duplicatesSuppressed",
+                           "duplicate arrivals suppressed at the receiver"),
+      checksumDiscards(this, "checksumDiscards",
+                       "arrivals discarded for a checksum mismatch"),
       messageBytes(this, "messageBytes",
                    "payload bytes per message entering the wire",
                    0, 4096, 256),
@@ -101,7 +126,10 @@ NetworkInterface::pushDescriptor(std::uint64_t desc, Tick now)
     job.source = desc >> 16;
     job.length = static_cast<unsigned>(desc & 0xffff);
     csb_assert(job.length > 0, "descriptor with zero length");
-    job.payload.reserve(job.length);
+    // Pre-sized so each read response lands at its own offset; with
+    // in-order responses this is byte-identical to appending, and it
+    // stays correct when a NACKed read completes out of order.
+    job.payload.assign(job.length, 0);
     job.startTick = now;
     dmaQueue_.push_back(std::move(job));
     descriptorsPushed += 1;
@@ -111,7 +139,23 @@ void
 NetworkInterface::finishMessage(std::vector<std::uint8_t> payload,
                                 Tick now, bool via_dma)
 {
-    // Serialize onto the wire.
+    std::uint64_t seq = nextSeq_++;
+    messageBytes.sample(static_cast<double>(payload.size()));
+    ++messagesInWire_;
+
+    if (reliableMode()) {
+        WirePacket pkt;
+        pkt.seq = seq;
+        pkt.checksum = fnv1a(payload);
+        pkt.payload = std::move(payload);
+        pkt.viaDma = via_dma;
+        pkt.firstSendTick = now;
+        unacked_.emplace(seq, std::move(pkt));
+        transmitPacket(seq, now);
+        return;
+    }
+
+    // Legacy lossless wire: serialize and schedule the delivery.
     Tick start = std::max(now, wireFreeAt_);
     auto tx_ticks = static_cast<Tick>(
         static_cast<double>(payload.size()) * params_.wireTicksPerByte);
@@ -120,8 +164,6 @@ NetworkInterface::finishMessage(std::vector<std::uint8_t> payload,
     wireFreeAt_ = send_done;
     bytesSent += payload.size();
     wireBusyTicks += tx_ticks;
-    messageBytes.sample(static_cast<double>(payload.size()));
-    ++messagesInWire_;
 
     if (sim::trace::jsonEnabled()) {
         sim::trace::jsonSpan(
@@ -135,10 +177,136 @@ NetworkInterface::finishMessage(std::vector<std::uint8_t> payload,
     msg.sendTick = send_done;
     msg.deliverTick = deliver;
     msg.viaDma = via_dma;
+    msg.seq = seq;
     sim_.eventQueue().scheduleFunc(deliver, [this, m = std::move(msg)] {
         delivered_.push_back(m);
         --messagesInWire_;
     });
+}
+
+void
+NetworkInterface::transmitPacket(std::uint64_t seq, Tick now)
+{
+    auto it = unacked_.find(seq);
+    csb_assert(it != unacked_.end(), "transmit of an unknown packet");
+    WirePacket &pkt = it->second;
+    ++pkt.attempts;
+    if (pkt.attempts > params_.maxSendAttempts) {
+        csb_fatal(name_, ": packet seq=", seq, " undeliverable after ",
+                  params_.maxSendAttempts, " send attempts");
+    }
+
+    Tick start = std::max(now, wireFreeAt_);
+    auto tx_ticks = static_cast<Tick>(
+        static_cast<double>(pkt.payload.size()) *
+        params_.wireTicksPerByte);
+    Tick send_done = start + tx_ticks;
+    Tick arrival = send_done + params_.wireLatency;
+    wireFreeAt_ = send_done;
+    bytesSent += pkt.payload.size();
+    wireBusyTicks += tx_ticks;
+
+    // The wire decides the packet's fate the moment it is sent; the
+    // sender only ever learns through a (missing) acknowledgment.
+    bool dropped =
+        injector_ && injector_->shouldFault(sim::FaultSite::WireDrop);
+    bool corrupted =
+        !dropped && injector_ &&
+        injector_->shouldFault(sim::FaultSite::WireCorrupt);
+
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonSpan(
+            "ni.wire", pkt.viaDma ? "dma msg" : "pio msg", start,
+            send_done,
+            {{"bytes", std::to_string(pkt.payload.size())},
+             {"seq", std::to_string(seq)},
+             {"attempt", std::to_string(pkt.attempts)},
+             {"fate", dropped ? "dropped"
+                              : (corrupted ? "corrupted" : "clean")}});
+    }
+
+    if (!dropped) {
+        std::vector<std::uint8_t> wire_bytes = pkt.payload;
+        if (corrupted && !wire_bytes.empty()) {
+            // Deterministic single-byte flip; FNV-1a catches it.
+            wire_bytes[seq % wire_bytes.size()] ^= 0xff;
+        }
+        sim_.eventQueue().scheduleFunc(
+            arrival,
+            [this, seq, wire_bytes = std::move(wire_bytes),
+             claimed = pkt.checksum, send_done, arrival,
+             via_dma = pkt.viaDma]() mutable {
+                receivePacket(seq, std::move(wire_bytes), claimed,
+                              send_done, arrival, via_dma);
+            });
+    }
+
+    // Ack timeout: retransmit unless an ack (for any attempt) landed
+    // first.  The attempt check disarms stale timers after an earlier
+    // retransmission already went out.
+    sim_.eventQueue().scheduleFunc(
+        send_done + params_.retransmitTimeout,
+        [this, seq, attempt = pkt.attempts] {
+            auto pending = unacked_.find(seq);
+            if (pending == unacked_.end() ||
+                pending->second.attempts != attempt) {
+                return;
+            }
+            retransmits += 1;
+            if (sim::trace::jsonEnabled()) {
+                sim::trace::jsonInstant(
+                    "ni.wire", "retransmit", sim_.curTick(),
+                    {{"seq", std::to_string(seq)},
+                     {"attempt",
+                      std::to_string(pending->second.attempts + 1)}});
+            }
+            transmitPacket(seq, sim_.curTick());
+        });
+}
+
+void
+NetworkInterface::receivePacket(std::uint64_t seq,
+                                std::vector<std::uint8_t> wire_bytes,
+                                std::uint64_t claimed_checksum,
+                                Tick send_done, Tick arrival, bool via_dma)
+{
+    if (fnv1a(wire_bytes) != claimed_checksum) {
+        checksumDiscards += 1;
+        if (sim::trace::jsonEnabled()) {
+            sim::trace::jsonInstant(
+                "ni.wire", "checksum-discard", arrival,
+                {{"seq", std::to_string(seq)}});
+        }
+        return; // no ack; the sender's timeout will retransmit
+    }
+
+    bool duplicate = deliveredSeqs_.count(seq) != 0;
+    if (duplicate) {
+        duplicatesSuppressed += 1;
+        if (sim::trace::jsonEnabled()) {
+            sim::trace::jsonInstant(
+                "ni.wire", "dup-suppressed", arrival,
+                {{"seq", std::to_string(seq)}});
+        }
+    } else {
+        deliveredSeqs_.insert(seq);
+        DeliveredMessage msg;
+        msg.payload = std::move(wire_bytes);
+        msg.sendTick = send_done;
+        msg.deliverTick = arrival;
+        msg.viaDma = via_dma;
+        msg.seq = seq;
+        delivered_.push_back(std::move(msg));
+        --messagesInWire_;
+    }
+
+    // Acknowledge (even duplicates: the earlier ack may have been
+    // lost) unless the ack itself is dropped.
+    if (injector_ && injector_->shouldFault(sim::FaultSite::AckDrop))
+        return;
+    sim_.eventQueue().scheduleFunc(
+        arrival + params_.ackLatency,
+        [this, seq] { unacked_.erase(seq); });
 }
 
 void
@@ -155,10 +323,22 @@ NetworkInterface::tick()
         job.startupDone = true;
     }
 
+    // NACKed reads reissue before new ones.  A pending retry implies
+    // fetched < length, so the job cannot complete under it.
+    if (!dmaRetries_.empty()) {
+        DmaRetry &head = dmaRetries_.front();
+        if (now < head.earliest || !bus_.masterIdle(masterId_))
+            return;
+        DmaRetry redo = head;
+        dmaRetries_.pop_front();
+        ++job.outstanding;
+        issueDmaRead(redo.addr, redo.size, redo.offset, redo.attempt);
+        return;
+    }
+
     if (job.fetched >= job.length && job.outstanding == 0) {
         // All payload fetched: transmit.
         std::vector<std::uint8_t> payload = std::move(job.payload);
-        payload.resize(job.length);
         dmaQueue_.pop_front();
         finishMessage(std::move(payload), now, /*via_dma=*/true);
         dmaMessages += 1;
@@ -180,22 +360,48 @@ NetworkInterface::tick()
     while (size > 1 && (addr % size != 0))
         size /= 2;
 
+    unsigned offset = job.issued;
     job.issued += size;
     ++job.outstanding;
+    issueDmaRead(addr, size, offset, /*attempt=*/0);
+}
+
+void
+NetworkInterface::issueDmaRead(Addr addr, unsigned size, unsigned offset,
+                               unsigned attempt)
+{
     bool accepted = bus_.requestRead(
         masterId_, addr, size, /*strongly_ordered=*/false,
-        [this](Tick, const std::vector<std::uint8_t> &data) {
-            // Responses return in issue order, so appending is safe.
+        [this, addr, size, offset,
+         attempt](Tick when, bus::BusStatus status,
+                  const std::vector<std::uint8_t> &data) {
             csb_assert(!dmaQueue_.empty(), "DMA response without a job");
             DmaJob &current = dmaQueue_.front();
-            unsigned take = std::min<unsigned>(
-                static_cast<unsigned>(data.size()),
-                current.length - current.fetched);
-            current.payload.insert(current.payload.end(), data.begin(),
-                                   data.begin() + take);
-            current.fetched += take;
             csb_assert(current.outstanding > 0, "DMA response underflow");
             --current.outstanding;
+            if (status == bus::BusStatus::Ok) {
+                unsigned take = std::min<unsigned>(
+                    static_cast<unsigned>(data.size()),
+                    current.length - offset);
+                std::memcpy(current.payload.data() + offset, data.data(),
+                            take);
+                current.fetched += take;
+                return;
+            }
+            if (status == bus::BusStatus::Error) {
+                csb_fatal(name_, ": bus error on DMA read at 0x",
+                          std::hex, addr);
+            }
+            busNacks += 1;
+            if (attempt + 1 >= params_.retry.maxAttempts) {
+                csb_fatal(name_, ": DMA read retries exhausted (",
+                          params_.retry.maxAttempts, ") at 0x", std::hex,
+                          addr);
+            }
+            busRetries += 1;
+            dmaRetries_.push_back(DmaRetry{
+                addr, size, offset, attempt + 1,
+                when + params_.retry.backoffFor(attempt + 1)});
         });
     csb_assert(accepted, "bus refused DMA read despite idle master");
 }
@@ -203,7 +409,18 @@ NetworkInterface::tick()
 bool
 NetworkInterface::idle() const
 {
-    return dmaQueue_.empty() && messagesInWire_ == 0;
+    return dmaQueue_.empty() && dmaRetries_.empty() &&
+           messagesInWire_ == 0 && unacked_.empty();
+}
+
+void
+NetworkInterface::debugDump(std::ostream &os) const
+{
+    os << "dmaJobs=" << dmaQueue_.size()
+       << " dmaRetries=" << dmaRetries_.size()
+       << " messagesInWire=" << messagesInWire_
+       << " unacked=" << unacked_.size()
+       << " delivered=" << delivered_.size();
 }
 
 } // namespace csb::io

@@ -26,12 +26,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "bus/retry.hh"
 #include "bus/system_bus.hh"
 #include "mem/physical_memory.hh"
 #include "sim/clocked.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -65,6 +69,8 @@ struct DeliveredMessage
     Tick deliverTick = 0;
     /** True when the payload was fetched by DMA, false for PIO. */
     bool viaDma = false;
+    /** Wire sequence number (unique per accepted message). */
+    std::uint64_t seq = 0;
 };
 
 /** NI configuration. */
@@ -82,6 +88,21 @@ struct NetworkInterfaceParams
     unsigned dmaMaxOutstanding = 4;
     /** Latency of NI register reads. */
     Tick readLatency = 12;
+    /**
+     * Force the reliable wire protocol (sequence numbers, checksum,
+     * ack + timeout retransmit, duplicate suppression) even when no
+     * wire faults are configured.  The protocol turns itself on
+     * automatically when the attached fault plan enables wire faults.
+     */
+    bool reliableWire = false;
+    /** Acknowledgment propagation latency back across the wire. */
+    Tick ackLatency = 200;
+    /** Retransmit timer, armed when a packet finishes transmitting. */
+    Tick retransmitTimeout = 4096;
+    /** Send attempts per packet before giving up fatally. */
+    unsigned maxSendAttempts = 16;
+    /** Backoff schedule for DMA reads NACKed on the bus. */
+    bus::RetryPolicy retry;
 };
 
 /**
@@ -118,12 +139,42 @@ class NetworkInterface : public bus::BusTarget,
 
     Addr base() const { return base_; }
 
+    /**
+     * Attach the system's fault injector (null to detach).  The NI
+     * consults the WireDrop / WireCorrupt / AckDrop sites and the bus
+     * NACK handling of its DMA port; wire faults implicitly enable
+     * the reliable wire protocol.
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** @return true when the reliable wire protocol is active. */
+    bool reliableMode() const
+    {
+        return params_.reliableWire ||
+               (injector_ && injector_->plan().wireFaultsEnabled());
+    }
+
+    void debugDump(std::ostream &os) const override;
+
     sim::stats::Scalar pioMessages;
     sim::stats::Scalar dmaMessages;
     sim::stats::Scalar bytesSent;
     sim::stats::Scalar descriptorsPushed;
     /** Ticks the wire spent transmitting payload bytes. */
     sim::stats::Scalar wireBusyTicks;
+    /** DMA reads NACKed on the bus. */
+    sim::stats::Scalar busNacks;
+    /** NACKed DMA reads reissued after backoff. */
+    sim::stats::Scalar busRetries;
+    /** Packets retransmitted after an ack timeout. */
+    sim::stats::Scalar retransmits;
+    /** Duplicate arrivals suppressed at the receiver. */
+    sim::stats::Scalar duplicatesSuppressed;
+    /** Arrivals discarded for a checksum mismatch. */
+    sim::stats::Scalar checksumDiscards;
     /** Payload size of each message entering the wire. */
     sim::stats::Distribution messageBytes;
 
@@ -143,9 +194,40 @@ class NetworkInterface : public bus::BusTarget,
         bool startupDone = false;
     };
 
+    /** A DMA read NACKed on the bus, waiting out its backoff. */
+    struct DmaRetry
+    {
+        Addr addr = 0;
+        unsigned size = 0;
+        /** Byte offset of this read within the job's payload. */
+        unsigned offset = 0;
+        unsigned attempt = 0;
+        Tick earliest = 0;
+    };
+
+    /** An unacknowledged packet owned by the sender (reliable mode). */
+    struct WirePacket
+    {
+        std::uint64_t seq = 0;
+        std::vector<std::uint8_t> payload;
+        std::uint64_t checksum = 0;
+        bool viaDma = false;
+        unsigned attempts = 0;
+        Tick firstSendTick = 0;
+    };
+
     void pushDescriptor(std::uint64_t desc, Tick now);
     void finishMessage(std::vector<std::uint8_t> payload, Tick now,
                        bool via_dma);
+    /** Put one (re)transmission of @p seq onto the wire. */
+    void transmitPacket(std::uint64_t seq, Tick now);
+    /** Receiver side: a packet's last byte arrived. */
+    void receivePacket(std::uint64_t seq,
+                       std::vector<std::uint8_t> wire_bytes,
+                       std::uint64_t claimed_checksum, Tick send_done,
+                       Tick arrival, bool via_dma);
+    void issueDmaRead(Addr addr, unsigned size, unsigned offset,
+                      unsigned attempt);
 
     sim::Simulator &sim_;
     bus::SystemBus &bus_;
@@ -153,13 +235,23 @@ class NetworkInterface : public bus::BusTarget,
     NetworkInterfaceParams params_;
     std::string name_;
     MasterId masterId_;
+    sim::FaultInjector *injector_ = nullptr;
 
     std::vector<std::uint8_t> pioBuffer_;
     std::deque<DmaJob> dmaQueue_;
+    /** NACKed DMA reads of the front job awaiting reissue. */
+    std::deque<DmaRetry> dmaRetries_;
     /** Wire is busy until this tick. */
     Tick wireFreeAt_ = 0;
     unsigned messagesInWire_ = 0;
     std::vector<DeliveredMessage> delivered_;
+
+    // Reliable wire protocol state (all empty in legacy mode).
+    std::uint64_t nextSeq_ = 1;
+    /** Sender: packets sent but not yet positively acknowledged. */
+    std::map<std::uint64_t, WirePacket> unacked_;
+    /** Receiver: sequence numbers already delivered (dup filter). */
+    std::set<std::uint64_t> deliveredSeqs_;
 };
 
 } // namespace csb::io

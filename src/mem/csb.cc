@@ -36,6 +36,9 @@ ConditionalStoreBuffer::ConditionalStoreBuffer(
       linesIssued(this, "linesIssued", "burst lines sent to the bus"),
       storeStallCycles(this, "storeStallCycles",
                        "cycles retire stalled on a busy line buffer"),
+      busNacks(this, "busNacks", "flush writes NACKed on the bus"),
+      busRetries(this, "busRetries",
+                 "NACKed flush writes reissued after backoff"),
       fillAtFlush(this, "fillAtFlush",
                   "valid bytes in the line at a successful flush",
                   0, params.lineBytes, 8),
@@ -152,7 +155,8 @@ ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
 bool
 ConditionalStoreBuffer::quiescent() const
 {
-    return hitCounter_ == 0 && outbox_.empty() && inflight_ == 0;
+    return hitCounter_ == 0 && outbox_.empty() && retryQueue_.empty() &&
+           inflight_ == 0;
 }
 
 void
@@ -161,7 +165,34 @@ ConditionalStoreBuffer::tick()
     if (!canAcceptStore())
         storeStallCycles += 1;
 
-    if (outbox_.empty() || presentPending_ || !bus_.masterIdle(masterId_))
+    if (presentPending_ || !bus_.masterIdle(masterId_))
+        return;
+
+    // With bus faults possible, wait for the in-flight chunk's status
+    // before issuing the next: a NACK discovered at completion would
+    // otherwise replay behind a younger chunk, reordering the stream.
+    if (inflight_ != 0 && bus_.ordersMustSerialize())
+        return;
+
+    // NACKed chunks reissue strictly before new outbox data so the
+    // stream out of this port keeps its order.
+    if (!retryQueue_.empty()) {
+        RetryWrite &head = retryQueue_.front();
+        if (sim_.curTick() < head.earliest)
+            return;
+        if (!bus_.wouldAcceptAtNextEdge(masterId_,
+                                        /*strongly_ordered=*/true,
+                                        /*is_write=*/true)) {
+            return;
+        }
+        RetryWrite redo = std::move(head);
+        retryQueue_.pop_front();
+        issueWrite(redo.addr, std::move(redo.data), redo.lastChunk,
+                   redo.attempt, /*from_outbox=*/false);
+        return;
+    }
+
+    if (outbox_.empty())
         return;
     // Hand a line to the system interface only when the bus will take
     // it at the next edge; until then the line buffer stays occupied
@@ -203,22 +234,65 @@ ConditionalStoreBuffer::tick()
     std::memcpy(payload.data(), head.data.data() + (txn_addr - head.addr),
                 txn_size);
 
+    issueWrite(txn_addr, std::move(payload), last_chunk, /*attempt=*/0,
+               /*from_outbox=*/true);
+    if (last_chunk)
+        ++linesIssued;
+}
+
+void
+ConditionalStoreBuffer::issueWrite(Addr addr,
+                                   std::vector<std::uint8_t> payload,
+                                   bool last_chunk, unsigned attempt,
+                                   bool from_outbox)
+{
+    // Keep our own copy until the bus acknowledges: the transaction's
+    // payload is consumed by the bus whether or not delivery succeeds.
+    std::vector<std::uint8_t> keep = payload;
     bool accepted = bus_.requestWrite(
-        masterId_, txn_addr, std::move(payload), /*strongly_ordered=*/true,
-        /*on_complete=*/[this](Tick) {
+        masterId_, addr, std::move(payload), /*strongly_ordered=*/true,
+        /*on_complete=*/
+        [this, addr, keep = std::move(keep), last_chunk,
+         attempt](Tick when, bus::BusStatus status) mutable {
             csb_assert(inflight_ > 0, "CSB completion underflow");
             --inflight_;
+            if (status == bus::BusStatus::Ok)
+                return;
+            if (status == bus::BusStatus::Error) {
+                csb_fatal(sim::Clocked::name(),
+                          ": bus error on flush write at 0x",
+                          std::hex, addr);
+            }
+            busNacks += 1;
+            if (attempt + 1 >= params_.retry.maxAttempts) {
+                csb_fatal(sim::Clocked::name(),
+                          ": flush retries exhausted (",
+                          params_.retry.maxAttempts, ") at 0x", std::hex,
+                          addr);
+            }
+            busRetries += 1;
+            retryQueue_.push_back(RetryWrite{
+                addr, std::move(keep), last_chunk, attempt + 1,
+                when + params_.retry.backoffFor(attempt + 1)});
         },
-        /*on_start=*/[this, last_chunk](Tick) {
+        /*on_start=*/
+        [this, last_chunk, from_outbox](Tick) {
             presentPending_ = false;
-            if (last_chunk)
+            if (from_outbox && last_chunk)
                 outbox_.pop_front();
         });
     csb_assert(accepted, "bus refused CSB request despite idle master");
     presentPending_ = true;
     ++inflight_;
-    if (last_chunk)
-        ++linesIssued;
+}
+
+void
+ConditionalStoreBuffer::debugDump(std::ostream &os) const
+{
+    os << "counter=" << hitCounter_ << " outbox=" << outbox_.size()
+       << " retryQueue=" << retryQueue_.size()
+       << " inflight=" << inflight_
+       << " presentPending=" << (presentPending_ ? 1 : 0);
 }
 
 } // namespace csb::mem

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/retry.hh"
 #include "bus/system_bus.hh"
 #include "decompose.hh"
 #include "sim/clocked.hh"
@@ -65,6 +66,8 @@ struct CsbParams
      * mentions for buses that support it.
      */
     bool partialFlush = false;
+    /** Backoff schedule for flush writes NACKed on the bus. */
+    bus::RetryPolicy retry;
 
     void validate() const;
 };
@@ -115,6 +118,9 @@ class ConditionalStoreBuffer : public sim::Clocked,
     /** @return true while flushed lines wait for the bus. */
     bool flushPending() const { return !outbox_.empty(); }
 
+    /** @return true while NACKed flush chunks await reissue. */
+    bool retryPending() const { return !retryQueue_.empty(); }
+
     /** @return true when nothing is buffered or in flight. */
     bool quiescent() const;
 
@@ -126,10 +132,12 @@ class ConditionalStoreBuffer : public sim::Clocked,
     bool
     drained() const
     {
-        return outbox_.empty() && inflight_ == 0;
+        return outbox_.empty() && retryQueue_.empty() && inflight_ == 0;
     }
 
     void tick() override;
+
+    void debugDump(std::ostream &os) const override;
 
     const CsbParams &params() const { return params_; }
 
@@ -140,6 +148,10 @@ class ConditionalStoreBuffer : public sim::Clocked,
     sim::stats::Scalar flushesFailed;
     sim::stats::Scalar linesIssued;
     sim::stats::Scalar storeStallCycles;
+    /** Flush writes NACKed on the bus. */
+    sim::stats::Scalar busNacks;
+    /** NACKed flush writes reissued after backoff. */
+    sim::stats::Scalar busRetries;
     /** Valid bytes in the line register at each successful flush. */
     sim::stats::Distribution fillAtFlush;
 
@@ -151,7 +163,25 @@ class ConditionalStoreBuffer : public sim::Clocked,
         ValidMask valid;
     };
 
+    /** A NACKed flush chunk waiting out its backoff. */
+    struct RetryWrite
+    {
+        Addr addr = 0;
+        std::vector<std::uint8_t> data;
+        bool lastChunk = true;
+        unsigned attempt = 0;
+        Tick earliest = 0;
+    };
+
     void clearAccumulator();
+
+    /**
+     * Present one write to the bus.  The CSB keeps its own copy of the
+     * payload until the bus acknowledges delivery, so a NACKed chunk
+     * can be reissued byte-identically.
+     */
+    void issueWrite(Addr addr, std::vector<std::uint8_t> payload,
+                    bool last_chunk, unsigned attempt, bool from_outbox);
 
     sim::Simulator &sim_;
     bus::SystemBus &bus_;
@@ -171,6 +201,12 @@ class ConditionalStoreBuffer : public sim::Clocked,
     std::deque<OutLine> outbox_;
     /** Chunks of the partially-flushed head line (partialFlush mode). */
     std::deque<Chunk> headChunks_;
+    /**
+     * NACKed chunks awaiting reissue.  Serviced strictly before the
+     * outbox so a retried chunk is never overtaken by younger data
+     * from the same port.
+     */
+    std::deque<RetryWrite> retryQueue_;
     bool presentPending_ = false;
     unsigned inflight_ = 0;
 };

@@ -33,6 +33,9 @@ UncachedBuffer::UncachedBuffer(sim::Simulator &simulator,
                       "stores merged into an existing entry"),
       entriesCreated(this, "entriesCreated", "buffer entries allocated"),
       txnsIssued(this, "txnsIssued", "bus transactions issued"),
+      busNacks(this, "busNacks", "transactions NACKed on the bus"),
+      busRetries(this, "busRetries",
+                 "NACKed transactions reissued after backoff"),
       entryOccupancy(this, "entryOccupancy",
                      "stores combined per entry", 1, 16, 1),
       sim_(simulator), bus_(bus), params_(params)
@@ -153,12 +156,41 @@ UncachedBuffer::pushLoad(Addr addr, unsigned size, UncachedLoadCallback done)
 bool
 UncachedBuffer::empty() const
 {
-    return entries_.empty() && inflightStores_ == 0 && inflightLoads_ == 0;
+    return entries_.empty() && retries_.empty() &&
+           inflightStores_ == 0 && inflightLoads_ == 0;
 }
 
 void
 UncachedBuffer::tick()
 {
+    // With bus faults possible, the status of an in-flight access must
+    // come back before the next one may issue: a NACK discovered at
+    // completion would otherwise replay behind a younger neighbour,
+    // reordering this port's strongly-ordered stream.
+    if ((inflightStores_ != 0 || inflightLoads_ != 0) &&
+        bus_.ordersMustSerialize()) {
+        return;
+    }
+
+    // NACKed transactions reissue strictly before queued entries so
+    // the port's access order is preserved.
+    if (!retries_.empty()) {
+        if (retryPresentPending_ || !bus_.masterIdle(masterId_))
+            return;
+        PendingRetry &head = retries_.front();
+        if (sim_.curTick() < head.earliest)
+            return;
+        if (!bus_.wouldAcceptAtNextEdge(masterId_,
+                                        /*strongly_ordered=*/true,
+                                        head.isWrite)) {
+            return;
+        }
+        PendingRetry redo = std::move(head);
+        retries_.pop_front();
+        issueRetry(std::move(redo));
+        return;
+    }
+
     if (entries_.empty())
         return;
     Entry &head = entries_.front();
@@ -208,12 +240,16 @@ UncachedBuffer::presentHeadStore()
     std::vector<std::uint8_t> payload(chunk.size);
     std::memcpy(payload.data(),
                 head.data.data() + (chunk.addr - head.addr), chunk.size);
+    std::vector<std::uint8_t> keep = payload;
 
     bool accepted = bus_.requestWrite(
         masterId_, chunk.addr, std::move(payload), /*strongly_ordered=*/true,
-        /*on_complete=*/[this](Tick) {
-            csb_assert(inflightStores_ > 0, "store completion underflow");
-            --inflightStores_;
+        /*on_complete=*/
+        [this, addr = chunk.addr,
+         keep = std::move(keep)](Tick when,
+                                 bus::BusStatus status) mutable {
+            handleWriteStatus(addr, std::move(keep), /*attempt=*/0, when,
+                              status);
         },
         /*on_start=*/[this](Tick) {
             Entry &started = entries_.front();
@@ -236,12 +272,11 @@ UncachedBuffer::presentHeadLoad()
     bool accepted = bus_.requestRead(
         masterId_, head.addr, head.size, /*strongly_ordered=*/true,
         /*on_complete=*/
-        [this, done = head.loadDone](Tick when,
-                                     const std::vector<std::uint8_t> &data) {
-            csb_assert(inflightLoads_ > 0, "load completion underflow");
-            --inflightLoads_;
-            if (done)
-                done(when, data);
+        [this, addr = head.addr, size = head.size,
+         done = head.loadDone](Tick when, bus::BusStatus status,
+                               const std::vector<std::uint8_t> &data) {
+            handleReadStatus(addr, size, done, /*attempt=*/0, when,
+                             status, data);
         },
         /*on_start=*/[this](Tick) {
             entries_.pop_front();
@@ -250,6 +285,114 @@ UncachedBuffer::presentHeadLoad()
     head.presentPending = true;
     ++inflightLoads_;
     ++txnsIssued;
+}
+
+void
+UncachedBuffer::issueRetry(PendingRetry redo)
+{
+    if (redo.isWrite) {
+        std::vector<std::uint8_t> keep = redo.data;
+        bool accepted = bus_.requestWrite(
+            masterId_, redo.addr, std::move(redo.data),
+            /*strongly_ordered=*/true,
+            /*on_complete=*/
+            [this, addr = redo.addr, keep = std::move(keep),
+             attempt = redo.attempt](Tick when,
+                                     bus::BusStatus status) mutable {
+                handleWriteStatus(addr, std::move(keep), attempt, when,
+                                  status);
+            },
+            /*on_start=*/[this](Tick) { retryPresentPending_ = false; });
+        csb_assert(accepted, "bus refused retry despite idle master");
+        ++inflightStores_;
+    } else {
+        bool accepted = bus_.requestRead(
+            masterId_, redo.addr, redo.size, /*strongly_ordered=*/true,
+            /*on_complete=*/
+            [this, addr = redo.addr, size = redo.size,
+             done = std::move(redo.loadDone),
+             attempt = redo.attempt](Tick when, bus::BusStatus status,
+                                     const std::vector<std::uint8_t> &data) {
+                handleReadStatus(addr, size, done, attempt, when, status,
+                                 data);
+            },
+            /*on_start=*/[this](Tick) { retryPresentPending_ = false; });
+        csb_assert(accepted, "bus refused retry despite idle master");
+        ++inflightLoads_;
+    }
+    retryPresentPending_ = true;
+}
+
+void
+UncachedBuffer::handleWriteStatus(Addr addr,
+                                  std::vector<std::uint8_t> keep,
+                                  unsigned attempt, Tick when,
+                                  bus::BusStatus status)
+{
+    csb_assert(inflightStores_ > 0, "store completion underflow");
+    --inflightStores_;
+    if (status == bus::BusStatus::Ok)
+        return;
+    if (status == bus::BusStatus::Error) {
+        csb_fatal(sim::Clocked::name(),
+                  ": bus error on uncached store at 0x", std::hex, addr);
+    }
+    busNacks += 1;
+    if (attempt + 1 >= params_.retry.maxAttempts) {
+        csb_fatal(sim::Clocked::name(), ": store retries exhausted (",
+                  params_.retry.maxAttempts, ") at 0x", std::hex, addr);
+    }
+    busRetries += 1;
+    PendingRetry redo;
+    redo.isWrite = true;
+    redo.addr = addr;
+    redo.size = static_cast<unsigned>(keep.size());
+    redo.data = std::move(keep);
+    redo.attempt = attempt + 1;
+    redo.earliest = when + params_.retry.backoffFor(attempt + 1);
+    retries_.push_back(std::move(redo));
+}
+
+void
+UncachedBuffer::handleReadStatus(Addr addr, unsigned size,
+                                 UncachedLoadCallback done,
+                                 unsigned attempt, Tick when,
+                                 bus::BusStatus status,
+                                 const std::vector<std::uint8_t> &data)
+{
+    csb_assert(inflightLoads_ > 0, "load completion underflow");
+    --inflightLoads_;
+    if (status == bus::BusStatus::Ok) {
+        if (done)
+            done(when, data);
+        return;
+    }
+    if (status == bus::BusStatus::Error) {
+        csb_fatal(sim::Clocked::name(),
+                  ": bus error on uncached load at 0x", std::hex, addr);
+    }
+    busNacks += 1;
+    if (attempt + 1 >= params_.retry.maxAttempts) {
+        csb_fatal(sim::Clocked::name(), ": load retries exhausted (",
+                  params_.retry.maxAttempts, ") at 0x", std::hex, addr);
+    }
+    busRetries += 1;
+    PendingRetry redo;
+    redo.isWrite = false;
+    redo.addr = addr;
+    redo.size = size;
+    redo.loadDone = std::move(done);
+    redo.attempt = attempt + 1;
+    redo.earliest = when + params_.retry.backoffFor(attempt + 1);
+    retries_.push_back(std::move(redo));
+}
+
+void
+UncachedBuffer::debugDump(std::ostream &os) const
+{
+    os << "entries=" << entries_.size() << " retries=" << retries_.size()
+       << " inflightStores=" << inflightStores_
+       << " inflightLoads=" << inflightLoads_;
 }
 
 } // namespace csb::mem

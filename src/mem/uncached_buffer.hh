@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/retry.hh"
 #include "bus/system_bus.hh"
 #include "decompose.hh"
 #include "sim/clocked.hh"
@@ -66,6 +67,8 @@ struct UncachedBufferParams
     unsigned combineBytes = 0;
     /** Coalescing rule for the open entry. */
     CombinePolicy policy = CombinePolicy::Block;
+    /** Backoff schedule for transactions NACKed on the bus. */
+    bus::RetryPolicy retry;
 
     void validate() const;
 };
@@ -116,6 +119,8 @@ class UncachedBuffer : public sim::Clocked, public sim::stats::StatGroup
 
     void tick() override;
 
+    void debugDump(std::ostream &os) const override;
+
     const UncachedBufferParams &params() const { return params_; }
 
     sim::stats::Scalar storesPushed;
@@ -123,6 +128,10 @@ class UncachedBuffer : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar storesCoalesced;
     sim::stats::Scalar entriesCreated;
     sim::stats::Scalar txnsIssued;
+    /** Transactions NACKed on the bus. */
+    sim::stats::Scalar busNacks;
+    /** NACKed transactions reissued after backoff. */
+    sim::stats::Scalar busRetries;
     sim::stats::Distribution entryOccupancy;
 
   private:
@@ -151,6 +160,18 @@ class UncachedBuffer : public sim::Clocked, public sim::stats::StatGroup
         unsigned storeCount = 0;
     };
 
+    /** A NACKed transaction waiting out its backoff. */
+    struct PendingRetry
+    {
+        bool isWrite = true;
+        Addr addr = 0;
+        unsigned size = 0;
+        std::vector<std::uint8_t> data; // writes only
+        UncachedLoadCallback loadDone;  // loads only
+        unsigned attempt = 0;
+        Tick earliest = 0;
+    };
+
     /** Block size used for new store entries. */
     unsigned blockBytes() const;
     unsigned maxTxnBytes() const;
@@ -161,12 +182,30 @@ class UncachedBuffer : public sim::Clocked, public sim::stats::StatGroup
 
     void presentHeadStore();
     void presentHeadLoad();
+    void issueRetry(PendingRetry redo);
+
+    /** Shared write-completion handling (first issue and retries). */
+    void handleWriteStatus(Addr addr, std::vector<std::uint8_t> keep,
+                           unsigned attempt, Tick when,
+                           bus::BusStatus status);
+    /** Shared read-completion handling (first issue and retries). */
+    void handleReadStatus(Addr addr, unsigned size,
+                          UncachedLoadCallback done, unsigned attempt,
+                          Tick when, bus::BusStatus status,
+                          const std::vector<std::uint8_t> &data);
 
     sim::Simulator &sim_;
     bus::SystemBus &bus_;
     UncachedBufferParams params_;
     MasterId masterId_;
     std::deque<Entry> entries_;
+    /**
+     * NACKed transactions awaiting reissue; serviced strictly before
+     * entries_ so the port's access order is preserved.
+     */
+    std::deque<PendingRetry> retries_;
+    /** A reissued retry has been presented but not started. */
+    bool retryPresentPending_ = false;
     /** Write transactions started but not completed. */
     unsigned inflightStores_ = 0;
     /** Read transactions started but not completed. */

@@ -13,6 +13,7 @@
 #define CSB_SIM_CLOCKED_HH
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 
 #include "types.hh"
@@ -88,6 +89,14 @@ class Clocked
 
     /** Called on every edge of the object's clock domain. */
     virtual void tick() = 0;
+
+    /**
+     * One-line description of internal state for the watchdog's
+     * diagnostic dump (pending queues, in-flight counts).  The
+     * default prints nothing; components with interesting liveness
+     * state override it.
+     */
+    virtual void debugDump(std::ostream &os) const { (void)os; }
 
     const std::string &name() const { return name_; }
     const ClockDomain &clockDomain() const { return domain_; }

@@ -152,6 +152,12 @@ class EventQueue
     /** Number of events processed so far (for stats / debugging). */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    /**
+     * Heap entries currently queued (includes entries already
+     * cancelled but not yet popped; an upper bound on live events).
+     */
+    std::size_t numPending() const { return queue_.size(); }
+
   private:
     /** Heap entry; stale entries are detected by sequence mismatch. */
     struct Entry

@@ -1,0 +1,126 @@
+#include "fault.hh"
+
+#include "logging.hh"
+
+namespace csb::sim {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::BusWriteNack: return "bus-write-nack";
+      case FaultSite::BusReadNack: return "bus-read-nack";
+      case FaultSite::BusError: return "bus-error";
+      case FaultSite::WireDrop: return "wire-drop";
+      case FaultSite::WireCorrupt: return "wire-corrupt";
+      case FaultSite::AckDrop: return "ack-drop";
+      case FaultSite::NumSites: break;
+    }
+    return "?";
+}
+
+double
+FaultPlan::rate(FaultSite site) const
+{
+    switch (site) {
+      case FaultSite::BusWriteNack: return busWriteNackRate;
+      case FaultSite::BusReadNack: return busReadNackRate;
+      case FaultSite::BusError: return busErrorRate;
+      case FaultSite::WireDrop: return wireDropRate;
+      case FaultSite::WireCorrupt: return wireCorruptRate;
+      case FaultSite::AckDrop: return ackDropRate;
+      case FaultSite::NumSites: break;
+    }
+    return 0;
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return busFaultsEnabled() || wireFaultsEnabled();
+}
+
+bool
+FaultPlan::busFaultsEnabled() const
+{
+    return busWriteNackRate > 0 || busReadNackRate > 0 || busErrorRate > 0;
+}
+
+bool
+FaultPlan::wireFaultsEnabled() const
+{
+    return wireDropRate > 0 || wireCorruptRate > 0 || ackDropRate > 0;
+}
+
+void
+FaultPlan::validate() const
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(FaultSite::NumSites);
+         ++i) {
+        FaultSite site = static_cast<FaultSite>(i);
+        double r = rate(site);
+        if (r < 0.0 || r > 1.0) {
+            csb_fatal("fault rate for ", faultSiteName(site),
+                      " must be in [0,1], got ", r);
+        }
+    }
+}
+
+namespace {
+
+/** Independent stream per site: golden-ratio offsets of the seed. */
+std::uint64_t
+siteSeed(std::uint64_t seed, unsigned site)
+{
+    return seed + (site + 1) * 0x9e3779b97f4a7c15ULL;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan, std::string name,
+                             stats::StatGroup *stat_parent)
+    : stats::StatGroup(std::move(name), stat_parent),
+      busWriteNacks(this, "busWriteNacks", "bus write NACKs injected"),
+      busReadNacks(this, "busReadNacks", "bus read NACKs injected"),
+      busErrors(this, "busErrors", "hard bus errors injected"),
+      wireDrops(this, "wireDrops", "NI wire packets dropped"),
+      wireCorruptions(this, "wireCorruptions",
+                      "NI wire packets corrupted"),
+      ackDrops(this, "ackDrops", "NI acknowledgments dropped"),
+      plan_(plan)
+{
+    plan_.validate();
+    for (unsigned i = 0; i < static_cast<unsigned>(FaultSite::NumSites);
+         ++i) {
+        streams_[i] = Random(siteSeed(plan_.seed, i));
+    }
+}
+
+sim::stats::Scalar &
+FaultInjector::counterFor(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::BusWriteNack: return busWriteNacks;
+      case FaultSite::BusReadNack: return busReadNacks;
+      case FaultSite::BusError: return busErrors;
+      case FaultSite::WireDrop: return wireDrops;
+      case FaultSite::WireCorrupt: return wireCorruptions;
+      case FaultSite::AckDrop: return ackDrops;
+      case FaultSite::NumSites: break;
+    }
+    csb_panic("bad fault site");
+}
+
+bool
+FaultInjector::shouldFault(FaultSite site)
+{
+    double r = plan_.rate(site);
+    if (r <= 0.0)
+        return false;
+    bool fault = streams_[static_cast<unsigned>(site)].chance(r);
+    if (fault)
+        ++counterFor(site);
+    return fault;
+}
+
+} // namespace csb::sim

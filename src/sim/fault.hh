@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * Production-scale simulators treat fault paths as first-class: every
+ * adverse event (a NACKed bus transaction, a dropped or corrupted
+ * packet on the NI wire, a lost acknowledgment) flows through one
+ * seeded injector so that a faulty run is exactly as reproducible as
+ * a clean one.  Each fault site draws from its own independent
+ * xoshiro256** stream derived from the plan seed, so enabling or
+ * re-rating one site never perturbs the decisions made at another --
+ * and a site whose rate is zero never draws at all, which is what
+ * makes the machinery bit-for-bit invisible when disabled.
+ *
+ * Replay guarantee: (plan, program, configuration) fully determine
+ * every injected fault.  To reproduce a failure, re-run with the same
+ * FaultPlan; to explore a different schedule, change only the seed.
+ */
+
+#ifndef CSB_SIM_FAULT_HH
+#define CSB_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "random.hh"
+#include "stats.hh"
+
+namespace csb::sim {
+
+/** Where a fault can be injected. */
+enum class FaultSite : unsigned
+{
+    BusWriteNack,  ///< write transaction NACKed at completion
+    BusReadNack,   ///< read transaction NACKed at the address phase
+    BusError,      ///< hard error response (non-retryable)
+    WireDrop,      ///< NI wire loses the packet in flight
+    WireCorrupt,   ///< NI wire flips payload bits (checksum catches it)
+    AckDrop,       ///< NI delivery acknowledgment is lost
+    NumSites,
+};
+
+const char *faultSiteName(FaultSite site);
+
+/**
+ * The fault plan: one Bernoulli rate per site plus the master seed.
+ * All rates default to zero, which disables injection entirely (and
+ * costs nothing at the fault sites).
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    /** Probability a completed bus write is NACKed (not delivered). */
+    double busWriteNackRate = 0;
+    /** Probability a bus read is NACKed at its address phase. */
+    double busReadNackRate = 0;
+    /** Probability of a hard (non-retryable) bus error response. */
+    double busErrorRate = 0;
+    /** Probability an NI wire packet is dropped in flight. */
+    double wireDropRate = 0;
+    /** Probability an NI wire packet is corrupted in flight. */
+    double wireCorruptRate = 0;
+    /** Probability a delivery acknowledgment is lost. */
+    double ackDropRate = 0;
+
+    /** @return the rate configured for @p site. */
+    double rate(FaultSite site) const;
+
+    /** @return true when any site has a nonzero rate. */
+    bool enabled() const;
+
+    /** @return true when any bus-level site has a nonzero rate. */
+    bool busFaultsEnabled() const;
+
+    /** @return true when any NI-wire site has a nonzero rate. */
+    bool wireFaultsEnabled() const;
+
+    /** Throws FatalError when a rate is outside [0, 1]. */
+    void validate() const;
+};
+
+/**
+ * Draws fault decisions and counts every injection per site.  One
+ * injector serves a whole System; components hold a plain pointer and
+ * treat null as "no faults".
+ */
+class FaultInjector : public stats::StatGroup
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan,
+                           std::string name = "faults",
+                           stats::StatGroup *stat_parent = nullptr);
+
+    /**
+     * Deterministic Bernoulli draw for @p site.  Never draws from the
+     * stream (and never counts) when the site's rate is zero, so a
+     * disabled site is bit-for-bit free.
+     */
+    bool shouldFault(FaultSite site);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // One injection counter per site (also visible in the JSON stats
+    // tree under this group).
+    stats::Scalar busWriteNacks;
+    stats::Scalar busReadNacks;
+    stats::Scalar busErrors;
+    stats::Scalar wireDrops;
+    stats::Scalar wireCorruptions;
+    stats::Scalar ackDrops;
+
+  private:
+    stats::Scalar &counterFor(FaultSite site);
+
+    FaultPlan plan_;
+    Random streams_[static_cast<unsigned>(FaultSite::NumSites)];
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_FAULT_HH

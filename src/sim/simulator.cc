@@ -1,7 +1,9 @@
 #include "simulator.hh"
 
 #include <algorithm>
+#include <sstream>
 
+#include "logging.hh"
 #include "trace.hh"
 
 namespace csb::sim {
@@ -50,12 +52,46 @@ Tick
 Simulator::run(const std::function<bool()> &done, Tick max_ticks)
 {
     Tick start = curTick();
+    lastProgressTick_ = std::max(lastProgressTick_, start);
     while (curTick() - start < max_ticks) {
         if (done())
             return curTick();
+        if (watchdogWindow_ &&
+            curTick() - lastProgressTick_ >= watchdogWindow_) {
+            watchdogFire(start);
+        }
         stepOne();
     }
+    if (!done()) {
+        ++tickLimitHits_;
+        csb_warn("Simulator::run: tick limit of ", max_ticks,
+                 " ticks exhausted at tick ", curTick(),
+                 " with the workload unfinished (deadlock or "
+                 "undersized budget)");
+    }
     return curTick();
+}
+
+void
+Simulator::watchdogFire(Tick start)
+{
+    std::ostringstream diag;
+    diag << "watchdog: no forward progress for " << watchdogWindow_
+         << " ticks (now=" << curTick()
+         << ", last progress=" << lastProgressTick_
+         << ", run started=" << start << ")\n";
+    diag << "  event queue: " << events_.numPending() << " pending";
+    if (!events_.empty())
+        diag << ", next at tick " << events_.nextTick();
+    diag << ", " << events_.numProcessed() << " processed\n";
+    for (const Clocked *obj : clocked_) {
+        std::ostringstream state;
+        obj->debugDump(state);
+        if (state.str().empty())
+            continue;
+        diag << "  " << obj->name() << ": " << state.str() << "\n";
+    }
+    csb_fatal(diag.str());
 }
 
 Tick

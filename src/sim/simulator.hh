@@ -7,6 +7,7 @@
 #ifndef CSB_SIM_SIMULATOR_HH
 #define CSB_SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -55,10 +56,38 @@ class Simulator
     /** Number of Clocked objects registered. */
     std::size_t numClocked() const { return clocked_.size(); }
 
+    /**
+     * Arm the forward-progress watchdog: when run() observes
+     * @p window ticks with no call to noteProgress(), it throws a
+     * diagnostic FatalError that dumps the event queue and every
+     * registered component's debugDump().  0 disables (the default).
+     */
+    void setWatchdog(Tick window) { watchdogWindow_ = window; }
+
+    Tick watchdogWindow() const { return watchdogWindow_; }
+
+    /**
+     * Components call this when they make observable forward
+     * progress (an instruction retires, a bus transaction starts).
+     * Feeds the watchdog; free when the watchdog is disarmed.
+     */
+    void noteProgress() { lastProgressTick_ = curTick(); }
+
+    /**
+     * Times run() returned with the done-predicate still false (the
+     * tick budget was exhausted before the workload finished).
+     */
+    std::uint64_t tickLimitHits() const { return tickLimitHits_; }
+
   private:
+    [[noreturn]] void watchdogFire(Tick start);
+
     EventQueue events_;
     std::vector<Clocked *> clocked_;
     bool order_dirty_ = false;
+    Tick watchdogWindow_ = 0;
+    Tick lastProgressTick_ = 0;
+    std::uint64_t tickLimitHits_ = 0;
 };
 
 } // namespace csb::sim

@@ -17,6 +17,7 @@ namespace {
 
 using namespace csb;
 using bus::BusKind;
+using bus::BusStatus;
 using bus::BusParams;
 using bus::SystemBus;
 
@@ -103,7 +104,7 @@ TEST_F(AcceptFixture, PendingResponseBlocksMultiplexedBus)
     makeBus(BusKind::Multiplexed, 8);
     bool done = false;
     ASSERT_TRUE(bus->requestRead(master, 0x40, 8, false,
-                                 [&](Tick,
+                                 [&](Tick, BusStatus,
                                      const std::vector<std::uint8_t> &) {
                                      done = true;
                                  }));

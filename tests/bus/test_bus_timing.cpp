@@ -20,6 +20,7 @@ namespace {
 using namespace csb;
 using bus::BusKind;
 using bus::BusParams;
+using bus::BusStatus;
 using bus::SystemBus;
 using bus::TxnKind;
 using bus::TxnRecord;
@@ -89,7 +90,7 @@ class BusFixture : public ::testing::Test
                     bool ok = bus->requestWrite(
                         master, static_cast<Addr>(issued) * size,
                         std::move(data), ordered,
-                        [&](Tick) { ++completed; });
+                        [&](Tick, BusStatus) { ++completed; });
                     EXPECT_TRUE(ok);
                     ++issued;
                 }
@@ -230,7 +231,7 @@ TEST_F(BusFixture, ReadRoundTrip)
     std::vector<std::uint8_t> got;
     Tick completion = 0;
     ASSERT_TRUE(bus->requestRead(master, 0x40, 8, true,
-                                 [&](Tick when,
+                                 [&](Tick when, BusStatus,
                                      const std::vector<std::uint8_t> &d) {
                                      done = true;
                                      got = d;
@@ -278,7 +279,7 @@ TEST_F(BusFixture, RoundRobinBetweenMasters)
     MasterId second = bus->registerMaster("second");
     unsigned done = 0;
     std::vector<std::uint8_t> data(8, 0);
-    auto cb = [&](Tick) { ++done; };
+    auto cb = [&](Tick, BusStatus) { ++done; };
     ASSERT_TRUE(bus->requestWrite(master, 0, data, false, cb));
     ASSERT_TRUE(bus->requestWrite(second, 64, data, false, cb));
     sim.run([&] { return done == 2; }, 10000);

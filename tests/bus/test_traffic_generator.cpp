@@ -18,6 +18,7 @@
 namespace {
 
 using namespace csb;
+using bus::BusStatus;
 using bus::TrafficGenerator;
 using bus::TrafficGeneratorParams;
 
@@ -153,7 +154,7 @@ TEST_F(TgenFixture, SharesBusFairlyWithSecondMaster)
                 std::vector<std::uint8_t> data(8, 1);
                 if (bus->requestWrite(victim, 0x80000 + issued * 8,
                                       std::move(data), true,
-                                      [&](Tick) { ++completed; })) {
+                                      [&](Tick, BusStatus) { ++completed; })) {
                     ++issued;
                 }
             }
