@@ -177,6 +177,7 @@ SystemBus::requestWrite(MasterId master, Addr addr,
     csb_assert(master < slots_.size(), "unknown master");
     if (slots_[master].has_value())
         return false;
+    ungate();
 
     Request req;
     req.txn.kind = TxnKind::Write;
@@ -208,6 +209,7 @@ SystemBus::requestRead(MasterId master, Addr addr, unsigned size,
     csb_assert(master < slots_.size(), "unknown master");
     if (slots_[master].has_value())
         return false;
+    ungate();
 
     Request req;
     req.txn.kind = TxnKind::ReadReq;
@@ -301,6 +303,12 @@ SystemBus::orderingAllows(const Request &req, std::uint64_t c) const
 void
 SystemBus::tick()
 {
+    if (quiescent()) {
+        // No request, no queued response, nothing in flight: the bus
+        // sleeps until a master presents a new transaction.
+        gate();
+        return;
+    }
     std::uint64_t c = curBusCycle();
     bool data_path_taken = tryStartResponse(c);
     tryStartRequest(c, data_path_taken);

@@ -31,6 +31,13 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &simulator,
 void
 TrafficGenerator::tick()
 {
+    if (!running_ && !redo_) {
+        // Stopped with no pending retry: sleep until start() (or a
+        // late NACK completion arming redo_) ungates us.
+        gate();
+        return;
+    }
+
     // A NACKed transaction waiting out its backoff takes precedence
     // over new traffic (and is serviced even after stop()).
     if (redo_) {
@@ -115,6 +122,7 @@ TrafficGenerator::onCompletion(Addr addr, bool is_write, unsigned attempt,
     busRetries += 1;
     redo_ = Redo{is_write, addr, attempt + 1,
                  when + params_.retry.backoffFor(attempt + 1)};
+    ungate();
 }
 
 } // namespace csb::bus

@@ -58,7 +58,12 @@ class TrafficGenerator : public sim::Clocked, public sim::stats::StatGroup
                      sim::stats::StatGroup *stat_parent = nullptr);
 
     /** Begin injecting traffic. */
-    void start() { running_ = true; }
+    void
+    start()
+    {
+        running_ = true;
+        ungate();
+    }
 
     /** Stop presenting new transactions (in-flight ones finish). */
     void stop() { running_ = false; }

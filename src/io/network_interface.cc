@@ -122,6 +122,7 @@ NetworkInterface::read(const bus::BusTransaction &txn, Tick,
 void
 NetworkInterface::pushDescriptor(std::uint64_t desc, Tick now)
 {
+    ungate();
     DmaJob job;
     job.source = desc >> 16;
     job.length = static_cast<unsigned>(desc & 0xffff);
@@ -312,8 +313,12 @@ NetworkInterface::receivePacket(std::uint64_t seq,
 void
 NetworkInterface::tick()
 {
-    if (dmaQueue_.empty())
+    if (dmaQueue_.empty()) {
+        // The wire side is fully event-driven; only the DMA engine
+        // needs edges, so sleep until a descriptor arrives.
+        gate();
         return;
+    }
     DmaJob &job = dmaQueue_.front();
     Tick now = sim_.curTick();
 

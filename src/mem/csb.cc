@@ -73,6 +73,7 @@ void
 ConditionalStoreBuffer::store(ProcId pid, Addr addr, unsigned size,
                               const void *data)
 {
+    ungate();
     csb_assert(canAcceptStore(), "CSB store while all line buffers busy");
     csb_assert(size > 0 && size <= 8 && isPowerOf2(size) &&
                addr % size == 0, "bad combining store shape");
@@ -105,6 +106,7 @@ bool
 ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
                                          std::uint64_t expected)
 {
+    ungate();
     ++flushesAttempted;
     Addr line = roundDown(addr, params_.lineBytes);
 
@@ -162,6 +164,13 @@ ConditionalStoreBuffer::quiescent() const
 void
 ConditionalStoreBuffer::tick()
 {
+    if (quiescent()) {
+        // Nothing buffered and nothing in flight: no future edge can
+        // do work until store()/conditionalFlush() ungate us.
+        gate();
+        return;
+    }
+
     if (!canAcceptStore())
         storeStallCycles += 1;
 

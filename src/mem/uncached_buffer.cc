@@ -95,6 +95,7 @@ UncachedBuffer::canAcceptLoad() const
 void
 UncachedBuffer::pushStore(Addr addr, unsigned size, const void *data)
 {
+    ungate();
     csb_assert(size > 0 && size <= 8 && isPowerOf2(size),
                "bad uncached store size ", size);
     csb_assert(addr % size == 0, "misaligned uncached store");
@@ -140,6 +141,7 @@ UncachedBuffer::pushStore(Addr addr, unsigned size, const void *data)
 void
 UncachedBuffer::pushLoad(Addr addr, unsigned size, UncachedLoadCallback done)
 {
+    ungate();
     csb_assert(canAcceptLoad(), "pushLoad without capacity");
     csb_assert(size > 0 && isPowerOf2(size) && addr % size == 0,
                "bad uncached load shape");
@@ -163,6 +165,13 @@ UncachedBuffer::empty() const
 void
 UncachedBuffer::tick()
 {
+    if (empty()) {
+        // Drained and nothing in flight: sleep until the next
+        // pushStore()/pushLoad() ungates us.
+        gate();
+        return;
+    }
+
     // With bus faults possible, the status of an in-flight access must
     // come back before the next one may issue: a NACK discovered at
     // completion would otherwise replay behind a younger neighbour,

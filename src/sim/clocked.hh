@@ -20,6 +20,8 @@
 
 namespace csb::sim {
 
+class Simulator;
+
 /** A clock derived from the global tick (CPU cycle) count. */
 class ClockDomain
 {
@@ -77,6 +79,12 @@ class ClockDomain
  * same order value, registration order.  By convention, consumers
  * (bus, memory) use lower values than producers (CPU) so that a value
  * produced in cycle N is consumed no earlier than cycle N+1.
+ *
+ * A quiescent component may gate() its clock: the simulator stops
+ * evaluating it (and fast-forwards over event-free spans once every
+ * registered component is gated).  The component must ungate() at
+ * every point where work can arrive -- gating is purely an
+ * optimisation and must never change simulated behaviour.
  */
 class Clocked
 {
@@ -90,6 +98,9 @@ class Clocked
     /** Called on every edge of the object's clock domain. */
     virtual void tick() = 0;
 
+    /** @return true while the clock is gated off (tick() suppressed). */
+    bool gated() const { return gated_; }
+
     /**
      * One-line description of internal state for the watchdog's
      * diagnostic dump (pending queues, in-flight counts).  The
@@ -102,10 +113,25 @@ class Clocked
     const ClockDomain &clockDomain() const { return domain_; }
     int evalOrder() const { return evalOrder_; }
 
+  protected:
+    /**
+     * Stop clock evaluation until ungate().  Call only when the
+     * component provably has nothing to do on any future edge absent
+     * new input.  No-op before registration with a Simulator.
+     */
+    void gate();
+
+    /** Resume clock evaluation (idempotent). */
+    void ungate();
+
   private:
+    friend class Simulator;
+
     std::string name_;
     ClockDomain domain_;
     int evalOrder_;
+    Simulator *sim_ = nullptr;
+    bool gated_ = false;
 };
 
 } // namespace csb::sim

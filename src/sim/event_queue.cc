@@ -1,32 +1,43 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+#include <utility>
+
 namespace csb::sim {
 
 namespace {
 
-/** Event adapter that runs a std::function exactly once. */
+/**
+ * Event adapter that runs a std::function exactly once.
+ *
+ * Instances are owned by the queue and recycled through its free
+ * list, so the steady-state cost of scheduleFunc() is a pool pop and
+ * a std::function move -- no heap allocation.
+ */
 class FuncEvent : public Event
 {
   public:
-    FuncEvent(std::function<void()> fn, int pri,
-              std::shared_ptr<detail::FuncEventState> state)
-        : Event(static_cast<Priority>(pri)), fn_(std::move(fn)),
-          state_(std::move(state))
-    {}
+    FuncEvent() = default;
 
     void
     process() override
     {
-        state_->done = true;
-        fn_();
+        state->done = true;
+        // Move the callback out so its closure is released as soon as
+        // it returns, even though the event itself is recycled.
+        auto fn_local = std::move(fn);
+        fn = nullptr;
+        fn_local();
     }
 
     std::string name() const override { return "func-event"; }
 
-  private:
-    std::function<void()> fn_;
-    std::shared_ptr<detail::FuncEventState> state_;
+    std::function<void()> fn;
+    std::shared_ptr<detail::FuncEventState> state;
 };
+
+/** Compact once the heap is this large and mostly stale. */
+constexpr std::size_t compactMinHeapSize = 64;
 
 } // namespace
 
@@ -38,24 +49,25 @@ Event::~Event()
 void
 EventHandle::cancel()
 {
-    if (pending()) {
-        queue_->deschedule(state_->event);
-        state_->done = true;
-    }
+    if (pending())
+        queue_->cancelFunc(*state_);
 }
 
 EventQueue::~EventQueue()
 {
-    // Drain remaining entries without firing them; free owned events.
-    while (!queue_.empty()) {
-        Entry entry = queue_.top();
-        queue_.pop();
-        if (entry.event->seq_ == entry.seq) {
-            entry.event->scheduled_ = false;
-            if (entry.event->selfDeleting_)
-                delete entry.event;
-        }
+    // Drain remaining entries without firing them.  Marking the
+    // handle state of every pending function event done here keeps
+    // EventHandle::pending()/cancel() safe on handles that outlive
+    // the queue.
+    for (const Entry &entry : heap_) {
+        if (!entryLive(entry))
+            continue;
+        entry.event->scheduled_ = false;
+        if (entry.event->selfDeleting_)
+            recycleFunc(entry.event);
     }
+    for (Event *event : funcPool_)
+        delete event;
 }
 
 void
@@ -67,16 +79,28 @@ EventQueue::schedule(Event *event, Tick when)
     event->when_ = when;
     event->seq_ = nextSeq_++;
     event->scheduled_ = true;
-    queue_.push(Entry{when, event->priority_, event->seq_, event});
+    heap_.push_back(Entry{when, event->priority_, event->seq_, event});
+    std::push_heap(heap_.begin(), heap_.end(), Compare{});
+    ++liveCount_;
+    if (cacheValid_ && when < cachedNextTick_)
+        cachedNextTick_ = when;
 }
 
 void
 EventQueue::deschedule(Event *event)
 {
     csb_assert(event->scheduled_, "deschedule of idle event");
+    csb_assert(liveCount_ > 0, "live-count underflow");
     // Lazy removal: the stale heap entry is detected by its sequence
-    // number when popped.
+    // number; compaction bounds how many such entries accumulate.
     event->scheduled_ = false;
+    --liveCount_;
+    if (cacheValid_ && event->when_ <= cachedNextTick_)
+        cacheValid_ = false;
+    if (liveCount_ == 0)
+        heap_.clear();
+    else
+        maybeCompact();
 }
 
 void
@@ -85,57 +109,97 @@ EventQueue::reschedule(Event *event, Tick when)
     csb_assert(!event->selfDeleting_,
                "cannot reschedule a one-shot function event");
     if (event->scheduled_)
-        event->scheduled_ = false;
+        deschedule(event);
     schedule(event, when);
 }
 
 EventHandle
 EventQueue::scheduleFunc(Tick when, std::function<void()> fn, int priority)
 {
-    auto state = std::make_shared<detail::FuncEventState>();
-    auto *ev = new FuncEvent(std::move(fn), priority, state);
-    ev->selfDeleting_ = true;
-    state->event = ev;
+    FuncEvent *ev;
+    if (!funcPool_.empty()) {
+        ev = static_cast<FuncEvent *>(funcPool_.back());
+        funcPool_.pop_back();
+    } else {
+        ev = new FuncEvent;
+        ev->selfDeleting_ = true;
+    }
+    ev->priority_ = priority;
+    ev->fn = std::move(fn);
+    // Reuse the attached handle state only when no old handle still
+    // references it; otherwise that handle would observe this event.
+    if (!ev->state || ev->state.use_count() != 1)
+        ev->state = std::make_shared<detail::FuncEventState>();
+    ev->state->event = ev;
+    ev->state->done = false;
     schedule(ev, when);
-    return EventHandle(this, std::move(state));
+    return EventHandle(this, ev->state);
 }
 
-bool
-EventQueue::empty() const
+void
+EventQueue::cancelFunc(detail::FuncEventState &state)
 {
-    return nextTick() == maxTick;
+    Event *event = state.event;
+    csb_assert(event && event->scheduled_, "cancel of idle func event");
+    deschedule(event);
+    // Recycle immediately: the closure is freed now rather than when
+    // the stale heap entry would have fired, and the event is ready
+    // for the next scheduleFunc().
+    recycleFunc(event);
+}
+
+void
+EventQueue::recycleFunc(Event *event)
+{
+    auto *fe = static_cast<FuncEvent *>(event);
+    fe->fn = nullptr;
+    if (fe->state) {
+        fe->state->done = true;
+        fe->state->event = nullptr;
+    }
+    funcPool_.push_back(fe);
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    // Skip lazily removed entries.
-    auto copy = queue_;
-    while (!copy.empty()) {
-        const Entry &entry = copy.top();
-        if (entry.event->scheduled_ && entry.event->seq_ == entry.seq)
-            return entry.when;
-        copy.pop();
-    }
-    return maxTick;
-}
-
-bool
-EventQueue::entryLive(const Entry &entry) const
-{
-    return entry.event->scheduled_ && entry.event->seq_ == entry.seq;
+    if (liveCount_ == 0)
+        return maxTick;
+    if (cacheValid_)
+        return cachedNextTick_;
+    purgeDeadTop();
+    cachedNextTick_ = heap_.front().when;
+    cacheValid_ = true;
+    return cachedNextTick_;
 }
 
 void
-EventQueue::discard(const Entry &entry)
+EventQueue::advanceTo(Tick when)
 {
-    // A cancelled one-shot function event is owned by the queue; free
-    // it once its (only) heap entry is dropped.  A rescheduled caller-
-    // owned event is still live under a newer sequence number.
-    if (entry.event->seq_ == entry.seq && !entry.event->scheduled_ &&
-        entry.event->selfDeleting_) {
-        delete entry.event;
+    csb_assert(when >= curTick_, "time going backwards");
+    csb_assert(nextTick() >= when, "advancing past a pending event");
+    curTick_ = when;
+}
+
+void
+EventQueue::purgeDeadTop() const
+{
+    while (!heap_.empty() && !entryLive(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), Compare{});
+        heap_.pop_back();
     }
+}
+
+void
+EventQueue::popAndFire()
+{
+    Entry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Compare{});
+    heap_.pop_back();
+    --liveCount_;
+    cacheValid_ = false;
+    curTick_ = entry.when;
+    fire(entry.event);
 }
 
 void
@@ -146,43 +210,54 @@ EventQueue::fire(Event *event)
     ++numProcessed_;
     event->process();
     if (event->selfDeleting_ && !event->scheduled_)
-        delete event;
+        recycleFunc(event);
+}
+
+void
+EventQueue::maybeCompact()
+{
+    const std::size_t dead = heap_.size() - liveCount_;
+    if (heap_.size() < compactMinHeapSize || dead <= liveCount_)
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &entry) {
+                                   return !entryLive(entry);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Compare{});
+    // The live set is unchanged, so the cached next tick stays valid.
+    ++numCompactions_;
 }
 
 bool
 EventQueue::serviceOne()
 {
-    while (!queue_.empty()) {
-        Entry entry = queue_.top();
-        queue_.pop();
-        if (!entryLive(entry)) {
-            discard(entry);
-            continue;
-        }
-        csb_assert(entry.when >= curTick_, "event in the past");
-        curTick_ = entry.when;
-        fire(entry.event);
-        return true;
+    if (liveCount_ == 0) {
+        heap_.clear();
+        return false;
     }
-    return false;
+    purgeDeadTop();
+    csb_assert(heap_.front().when >= curTick_, "event in the past");
+    popAndFire();
+    return true;
 }
 
 void
 EventQueue::serviceUntil(Tick now)
 {
     csb_assert(now >= curTick_, "time going backwards");
-    while (!queue_.empty()) {
-        Entry entry = queue_.top();
-        if (entryLive(entry) && entry.when > now)
+    while (liveCount_ > 0) {
+        purgeDeadTop();
+        if (heap_.front().when > now) {
+            // Free cache refresh: the front is the next live event.
+            cachedNextTick_ = heap_.front().when;
+            cacheValid_ = true;
             break;
-        queue_.pop();
-        if (!entryLive(entry)) {
-            discard(entry);
-            continue;
         }
-        curTick_ = entry.when;
-        fire(entry.event);
+        popAndFire();
     }
+    if (liveCount_ == 0 && !heap_.empty())
+        heap_.clear();
     curTick_ = now;
 }
 

@@ -9,6 +9,16 @@
  *
  * Events at the same tick fire in (priority, insertion-order) order,
  * which keeps the simulation fully deterministic.
+ *
+ * The kernel is built for the hot path:
+ *  - nextTick()/empty() are O(1): the next live tick is cached and
+ *    the cache is invalidated on schedule/deschedule, so peeking never
+ *    walks (let alone copies) the heap;
+ *  - cancellation is lazy (stale heap entries are detected by sequence
+ *    mismatch), but the heap is compacted eagerly once stale entries
+ *    outnumber live ones, bounding memory under cancel-heavy churn;
+ *  - scheduleFunc() recycles its one-shot events and their handle
+ *    state through a free list, so the common case allocates nothing.
  */
 
 #ifndef CSB_SIM_EVENT_QUEUE_HH
@@ -17,7 +27,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -79,7 +88,10 @@ struct FuncEventState
 
 } // namespace detail
 
-/** Handle returned by scheduleFunc(); safe to use after the event fired. */
+/**
+ * Handle returned by scheduleFunc(); safe to use after the event fired
+ * and after the owning queue was destroyed.
+ */
 class EventHandle
 {
   public:
@@ -134,11 +146,21 @@ class EventQueue
     EventHandle scheduleFunc(Tick when, std::function<void()> fn,
                              int priority = Event::DefaultPri);
 
-    /** @return true when no events are pending. */
-    bool empty() const;
+    /** @return true when no events are pending.  O(1). */
+    bool empty() const { return liveCount_ == 0; }
 
-    /** Tick of the next pending event, or maxTick when empty. */
+    /**
+     * Tick of the next pending event, or maxTick when empty.  O(1)
+     * when the cached peek is valid (amortized O(log n) otherwise,
+     * popping stale entries off the heap top).
+     */
     Tick nextTick() const;
+
+    /**
+     * Advance time to @p when without firing anything.
+     * @pre no live event is scheduled before @p when.
+     */
+    void advanceTo(Tick when);
 
     /**
      * Advance time to the next event and fire every event scheduled
@@ -152,13 +174,25 @@ class EventQueue
     /** Number of events processed so far (for stats / debugging). */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    /** Live (scheduled, not cancelled) events pending.  Exact. */
+    std::size_t numPending() const { return liveCount_; }
+
     /**
-     * Heap entries currently queued (includes entries already
-     * cancelled but not yet popped; an upper bound on live events).
+     * Heap slots currently allocated, including stale entries of
+     * cancelled or rescheduled events (>= numPending(); for tests and
+     * the perf bench).
      */
-    std::size_t numPending() const { return queue_.size(); }
+    std::size_t heapSize() const { return heap_.size(); }
+
+    /** Times the heap was compacted to evict stale entries. */
+    std::uint64_t numCompactions() const { return numCompactions_; }
+
+    /** One-shot function events parked on the free list. */
+    std::size_t funcPoolSize() const { return funcPool_.size(); }
 
   private:
+    friend class EventHandle;
+
     /** Heap entry; stale entries are detected by sequence mismatch. */
     struct Entry
     {
@@ -168,6 +202,10 @@ class EventQueue
         Event *event;
     };
 
+    /**
+     * Min-heap order for std::push_heap/pop_heap: the comparator says
+     * "fires later", so the heap front is the earliest entry.
+     */
     struct Compare
     {
         bool
@@ -181,14 +219,45 @@ class EventQueue
         }
     };
 
-    bool entryLive(const Entry &entry) const;
-    void discard(const Entry &entry);
+    bool
+    entryLive(const Entry &entry) const
+    {
+        return entry.event->scheduled_ && entry.event->seq_ == entry.seq;
+    }
+
+    /** Pop stale entries until the heap front is live (or empty). */
+    void purgeDeadTop() const;
+
+    /** Drop the heap front (must be live) and fire its event. */
+    void popAndFire();
+
     void fire(Event *event);
 
-    std::priority_queue<Entry, std::vector<Entry>, Compare> queue_;
+    /** Rebuild the heap with live entries only when stale ones win. */
+    void maybeCompact();
+
+    /** Cancel a pending scheduleFunc() callback via its handle state. */
+    void cancelFunc(detail::FuncEventState &state);
+
+    /** Park a finished/cancelled one-shot event on the free list. */
+    void recycleFunc(Event *event);
+
+    /**
+     * The heap is logically state, but stale-entry purging from const
+     * peeks is not observable, hence mutable.
+     */
+    mutable std::vector<Entry> heap_;
+    /** Live entries in heap_ (heap_.size() - liveCount_ are stale). */
+    std::size_t liveCount_ = 0;
+    /** Cached next-live tick; invalidated on schedule/deschedule/pop. */
+    mutable Tick cachedNextTick_ = maxTick;
+    mutable bool cacheValid_ = false;
+    /** Recycled one-shot function events (owned). */
+    std::vector<Event *> funcPool_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t numProcessed_ = 0;
+    std::uint64_t numCompactions_ = 0;
 };
 
 } // namespace csb::sim

@@ -1,5 +1,6 @@
 #include "json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -37,18 +38,24 @@ jsonEscape(const std::string &s)
 std::string
 jsonNumber(double v)
 {
+    // std::to_chars, unlike snprintf, is locale-independent: under a
+    // comma-decimal LC_NUMERIC (e.g. de_DE) "%.12g" would print
+    // "4,00" and silently corrupt every artifact.  The chars_format
+    // output below is specified to match printf "%.12g" in the "C"
+    // locale, so artifacts stay byte-identical on any machine.
     if (!std::isfinite(v))
         return "null"; // JSON has no NaN/Inf
+    char buf[40];
     // 2^53: largest range where every integer is exact in a double.
     if (v == std::floor(v) && std::fabs(v) <= 9007199254740992.0) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%lld",
-                      static_cast<long long>(v));
-        return buf;
+        auto res = std::to_chars(buf, buf + sizeof(buf),
+                                 static_cast<long long>(v));
+        return std::string(buf, res.ptr);
     }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
-    return buf;
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, 12);
+    csb_assert(res.ec == std::errc(), "jsonNumber buffer too small");
+    return std::string(buf, res.ptr);
 }
 
 void

@@ -22,8 +22,44 @@ Simulator::~Simulator()
 }
 
 void
+Clocked::gate()
+{
+    if (gated_ || !sim_)
+        return;
+    gated_ = true;
+    sim_->noteGated();
+}
+
+void
+Clocked::ungate()
+{
+    if (!gated_)
+        return;
+    gated_ = false;
+    if (sim_)
+        sim_->noteUngated();
+}
+
+void
+Simulator::noteGated()
+{
+    ++gatedCount_;
+    csb_assert(gatedCount_ <= clocked_.size(), "gated-count overflow");
+}
+
+void
+Simulator::noteUngated()
+{
+    csb_assert(gatedCount_ > 0, "gated-count underflow");
+    --gatedCount_;
+}
+
+void
 Simulator::registerClocked(Clocked *obj)
 {
+    csb_assert(obj->sim_ == nullptr || obj->sim_ == this,
+               obj->name(), " registered with two simulators");
+    obj->sim_ = this;
     clocked_.push_back(obj);
     order_dirty_ = true;
 }
@@ -42,10 +78,39 @@ Simulator::stepOne()
     Tick now = events_.curTick();
     events_.serviceUntil(now);
     for (Clocked *obj : clocked_) {
-        if (obj->clockDomain().isEdge(now))
+        if (!obj->gated_ && obj->clockDomain().isEdge(now))
             obj->tick();
     }
     events_.serviceUntil(now + 1);
+}
+
+Tick
+Simulator::quiescentJump(Tick budget_left) const
+{
+    // Only safe when nothing can change state between events: every
+    // clocked component has gated itself off (trivially true for a
+    // purely event-driven simulation with no clocked components).
+    if (gatedCount_ != clocked_.size() || budget_left == 0)
+        return 0;
+    Tick now = events_.curTick();
+    // Land one tick short of the next event so stepOne()'s trailing
+    // serviceUntil fires it exactly as per-tick stepping would.
+    Tick jump = budget_left - 1;
+    if (watchdogWindow_) {
+        // Do not jump past the watchdog deadline; run() re-checks it
+        // at the landing tick, so it fires at the identical tick as
+        // in per-tick mode.
+        Tick deadline = lastProgressTick_ + watchdogWindow_;
+        if (deadline <= now)
+            return 0;  // runFor() never fires the watchdog; just step
+        jump = std::min(jump, deadline - now);
+    }
+    Tick next = events_.nextTick();
+    if (next <= now)
+        return 0;
+    if (next != maxTick)
+        jump = std::min(jump, next - 1 - now);
+    return jump;
 }
 
 Tick
@@ -59,6 +124,14 @@ Simulator::run(const std::function<bool()> &done, Tick max_ticks)
         if (watchdogWindow_ &&
             curTick() - lastProgressTick_ >= watchdogWindow_) {
             watchdogFire(start);
+        }
+        if (idleFastForward_) {
+            Tick jump = quiescentJump(max_ticks - (curTick() - start));
+            if (jump > 0) {
+                events_.advanceTo(curTick() + jump);
+                fastForwardedTicks_ += jump;
+                continue;
+            }
         }
         stepOne();
     }
@@ -97,8 +170,16 @@ Simulator::watchdogFire(Tick start)
 Tick
 Simulator::runFor(Tick n)
 {
-    for (Tick i = 0; i < n; ++i)
+    Tick start = curTick();
+    while (curTick() - start < n) {
+        Tick jump = quiescentJump(n - (curTick() - start));
+        if (jump > 0) {
+            events_.advanceTo(curTick() + jump);
+            fastForwardedTicks_ += jump;
+            continue;
+        }
         stepOne();
+    }
     return curTick();
 }
 

@@ -56,6 +56,28 @@ class Simulator
     /** Number of Clocked objects registered. */
     std::size_t numClocked() const { return clocked_.size(); }
 
+    /** Number of registered Clocked objects currently clock-gated. */
+    std::size_t numGated() const { return gatedCount_; }
+
+    /**
+     * Ticks skipped by the quiescent-system fast-forward: when every
+     * registered component is gated, run()/runFor() jump straight to
+     * the next event instead of stepping empty ticks one by one.
+     */
+    std::uint64_t fastForwardedTicks() const { return fastForwardedTicks_; }
+
+    /**
+     * Allow run() to fast-forward over quiescent spans.  Off by
+     * default because run()'s contract is to evaluate the done
+     * predicate at every tick: only enable it when the predicate
+     * depends solely on component/event state, not on curTick().
+     * runFor() always fast-forwards -- with no predicate to consult,
+     * skipping ticks nothing would act on is unobservable.
+     */
+    void setIdleFastForward(bool enable) { idleFastForward_ = enable; }
+
+    bool idleFastForward() const { return idleFastForward_; }
+
     /**
      * Arm the forward-progress watchdog: when run() observes
      * @p window ticks with no call to noteProgress(), it throws a
@@ -80,7 +102,20 @@ class Simulator
     std::uint64_t tickLimitHits() const { return tickLimitHits_; }
 
   private:
+    friend class Clocked;
+
     [[noreturn]] void watchdogFire(Tick start);
+
+    void noteGated();
+    void noteUngated();
+
+    /**
+     * When the whole system is quiescent, @return how many ticks
+     * beyond curTick() can be skipped without changing behaviour
+     * (clamped to @p budget_left ticks remaining and the watchdog
+     * deadline); 0 when stepping must proceed tick by tick.
+     */
+    Tick quiescentJump(Tick budget_left) const;
 
     EventQueue events_;
     std::vector<Clocked *> clocked_;
@@ -88,6 +123,9 @@ class Simulator
     Tick watchdogWindow_ = 0;
     Tick lastProgressTick_ = 0;
     std::uint64_t tickLimitHits_ = 0;
+    std::size_t gatedCount_ = 0;
+    std::uint64_t fastForwardedTicks_ = 0;
+    bool idleFastForward_ = false;
 };
 
 } // namespace csb::sim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for component clock gating and the quiescent-system
+ * fast-forward in the Simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using csb::Tick;
+using csb::sim::ClockDomain;
+using csb::sim::Clocked;
+using csb::sim::Simulator;
+
+/**
+ * A device that gates itself whenever its work queue is empty and
+ * records every tick on which it actually ran.
+ */
+class GatingDevice : public Clocked
+{
+  public:
+    explicit GatingDevice(Simulator *sim, Tick period = 1)
+        : Clocked("gating_dev", ClockDomain(period)), sim_(sim)
+    {}
+
+    void
+    tick() override
+    {
+        if (pending_ == 0) {
+            gate();
+            return;
+        }
+        --pending_;
+        ranAt_.push_back(sim_->curTick());
+    }
+
+    void
+    addWork(unsigned n)
+    {
+        ungate();
+        pending_ += n;
+    }
+
+    const std::vector<Tick> &ranAt() const { return ranAt_; }
+    unsigned pending() const { return pending_; }
+
+  private:
+    Simulator *sim_;
+    unsigned pending_ = 0;
+    std::vector<Tick> ranAt_;
+};
+
+TEST(ClockGating, GatedDeviceIsSkipped)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+    EXPECT_EQ(sim.numGated(), 0u);
+
+    sim.runFor(5);  // first tick gates the idle device
+    EXPECT_TRUE(dev.gated());
+    EXPECT_EQ(sim.numGated(), 1u);
+    EXPECT_TRUE(dev.ranAt().empty());
+}
+
+TEST(ClockGating, UngateResumesTicking)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+
+    sim.runFor(10);
+    EXPECT_TRUE(dev.gated());
+
+    dev.addWork(3);
+    EXPECT_FALSE(dev.gated());
+    EXPECT_EQ(sim.numGated(), 0u);
+
+    sim.runFor(10);
+    // Work drained over three consecutive edges, then re-gated.
+    EXPECT_EQ(dev.ranAt(), (std::vector<Tick>{10, 11, 12}));
+    EXPECT_EQ(dev.pending(), 0u);
+    EXPECT_TRUE(dev.gated());
+}
+
+TEST(ClockGating, RunForFastForwardsQuiescentSpans)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+
+    // Work arrives via an event far in the future; the span between
+    // gating and that event must be jumped, not stepped.
+    sim.eventQueue().scheduleFunc(100'000, [&] { dev.addWork(1); });
+    Tick end = sim.runFor(200'000);
+    EXPECT_EQ(end, 200'000u);
+    EXPECT_EQ(sim.curTick(), 200'000u);
+    EXPECT_EQ(dev.ranAt(), (std::vector<Tick>{100'000}));
+    // Nearly the whole run was skipped; only the edges around the
+    // event and the initial gating tick were stepped.
+    EXPECT_GT(sim.fastForwardedTicks(), 190'000u);
+}
+
+TEST(ClockGating, FastForwardPreservesTickExactness)
+{
+    // The same workload stepped tick-by-tick and fast-forwarded must
+    // run the device on identical ticks.
+    // An always-on component defeats the whole-system fast-forward so
+    // the reference run steps every tick.
+    class AlwaysOn : public Clocked
+    {
+      public:
+        AlwaysOn() : Clocked("always_on", ClockDomain(1)) {}
+        void tick() override {}
+    };
+    auto drive = [](bool gated_path) {
+        Simulator sim;
+        GatingDevice dev(&sim, 3);  // period-3 domain
+        sim.registerClocked(&dev);
+        AlwaysOn keeper;
+        if (!gated_path)
+            sim.registerClocked(&keeper);
+        for (Tick t : {50u, 51u, 1000u, 7777u})
+            sim.eventQueue().scheduleFunc(t, [&dev] { dev.addWork(2); });
+        sim.runFor(10'000);
+        return dev.ranAt();
+    };
+    auto fast = drive(true);
+    auto slow = drive(false);
+    EXPECT_EQ(fast, slow);
+    EXPECT_FALSE(fast.empty());
+}
+
+TEST(ClockGating, RunChecksPredicateEveryTickByDefault)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+
+    // With fast-forward off (the default), run() must stop exactly
+    // where a curTick()-based predicate says, even though the whole
+    // system is gated.
+    Tick end = sim.run([&] { return sim.curTick() >= 123; }, 10'000);
+    EXPECT_EQ(end, 123u);
+    EXPECT_EQ(sim.fastForwardedTicks(), 0u);
+}
+
+TEST(ClockGating, RunFastForwardsWhenOptedIn)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+    sim.setIdleFastForward(true);
+
+    bool fired = false;
+    sim.eventQueue().scheduleFunc(5'000, [&] {
+        dev.addWork(1);
+        fired = true;
+    });
+    Tick end = sim.run([&] { return fired && dev.pending() == 0; },
+                       1'000'000);
+    // The device drains its work during tick 5000; run() observes the
+    // predicate at the top of the next tick.
+    EXPECT_EQ(end, 5'001u);
+    EXPECT_GT(sim.fastForwardedTicks(), 4'000u);
+    EXPECT_EQ(dev.ranAt(), (std::vector<Tick>{5'000}));
+}
+
+TEST(ClockGating, WatchdogStillFiresAcrossFastForward)
+{
+    Simulator sim;
+    GatingDevice dev(&sim);
+    sim.registerClocked(&dev);
+    sim.setIdleFastForward(true);
+    sim.setWatchdog(1'000);
+
+    // No progress is ever noted, so run() must throw at the watchdog
+    // deadline instead of fast-forwarding past it.
+    EXPECT_THROW(sim.run([] { return false; }, 100'000),
+                 csb::FatalError);
+    EXPECT_LE(sim.curTick(), 2'000u)
+        << "fast-forward must not overshoot the watchdog deadline";
+}
+
+} // namespace

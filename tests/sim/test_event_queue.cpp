@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -155,6 +156,79 @@ TEST(EventQueue, NumProcessedCounts)
         q.scheduleFunc(i + 1, [] {});
     q.serviceUntil(10);
     EXPECT_EQ(q.numProcessed(), 5u);
+}
+
+TEST(EventQueue, NumPendingCountsLiveOnly)
+{
+    EventQueue q;
+    EventHandle a = q.scheduleFunc(10, [] {});
+    EventHandle b = q.scheduleFunc(20, [] {});
+    EXPECT_EQ(q.numPending(), 2u);
+    a.cancel();
+    EXPECT_EQ(q.numPending(), 1u);
+    EXPECT_EQ(q.nextTick(), 20u) << "cancelled event must not be peeked";
+    q.serviceUntil(25);
+    EXPECT_EQ(q.numPending(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(b.pending() == false);
+}
+
+TEST(EventQueue, HandleOutlivesQueue)
+{
+    int fired = 0;
+    EventHandle handle;
+    {
+        EventQueue q;
+        handle = q.scheduleFunc(5, [&] { ++fired; });
+        EXPECT_TRUE(handle.pending());
+    }
+    // The queue drained its pending events on destruction; the handle
+    // must observe that instead of dereferencing freed state.
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not touch the destroyed queue
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelRecyclesEventImmediately)
+{
+    EventQueue q;
+    EventHandle far = q.scheduleFunc(1'000'000, [] {});
+    EXPECT_EQ(q.funcPoolSize(), 0u);
+    far.cancel();
+    // The one-shot event is parked on the free list at cancel time,
+    // not when simulated time finally reaches its original tick.
+    EXPECT_EQ(q.funcPoolSize(), 1u);
+    EXPECT_EQ(q.heapSize(), 0u) << "lone stale entry should be dropped";
+    q.scheduleFunc(5, [] {});
+    EXPECT_EQ(q.funcPoolSize(), 0u) << "pool node should be reused";
+    q.serviceUntil(10);
+    EXPECT_EQ(q.funcPoolSize(), 1u) << "fired event returns to the pool";
+}
+
+TEST(EventQueue, CancelReleasesClosureResources)
+{
+    EventQueue q;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> weak = token;
+    EventHandle handle = q.scheduleFunc(1'000'000, [token] {});
+    token.reset();
+    EXPECT_FALSE(weak.expired());
+    handle.cancel();
+    EXPECT_TRUE(weak.expired())
+        << "closure must be destroyed at cancel, not at its tick";
+}
+
+TEST(EventQueue, NextTickCachedAcrossPeeks)
+{
+    EventQueue q;
+    for (int i = 0; i < 100; ++i)
+        q.scheduleFunc(100 + i, [] {});
+    // Heavy peeking must not disturb state or ordering.
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_EQ(q.nextTick(), 100u);
+    EXPECT_EQ(q.numPending(), 100u);
+    q.serviceUntil(500);
+    EXPECT_EQ(q.numProcessed(), 100u);
 }
 
 } // namespace

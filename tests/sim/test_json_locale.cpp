@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Locale-independence tests for the JSON number formatter.
+ *
+ * jsonNumber() used to go through snprintf("%.12g"), which honours
+ * LC_NUMERIC: under a comma-decimal locale (de_DE, fr_FR, ...) it
+ * prints "2,5" and corrupts every artifact.  The formatter now uses
+ * std::to_chars, which is locale-independent by specification; these
+ * tests pin that down and keep the output byte-compatible with the
+ * historical "C"-locale rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "sim/json.hh"
+
+namespace {
+
+using csb::sim::jsonNumber;
+
+/** RAII guard: restore LC_NUMERIC on scope exit. */
+class NumericLocaleGuard
+{
+  public:
+    NumericLocaleGuard()
+        : saved_(std::setlocale(LC_NUMERIC, nullptr))
+    {}
+
+    ~NumericLocaleGuard() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+  private:
+    std::string saved_;
+};
+
+TEST(JsonLocale, NumbersSurviveCommaDecimalLocale)
+{
+    NumericLocaleGuard guard;
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                "fr_FR", "C.UTF-8@euro"};
+    bool set = false;
+    for (const char *loc : candidates) {
+        if (std::setlocale(LC_NUMERIC, loc)) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1f", 0.5);
+            if (std::string(buf) == "0,5") {
+                set = true;
+                break;
+            }
+        }
+    }
+    if (!set)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+    EXPECT_EQ(jsonNumber(-0.001953125), "-0.001953125");
+    EXPECT_EQ(jsonNumber(1.0 / 3.0), "0.333333333333");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+}
+
+TEST(JsonLocale, MatchesHistoricalCLocaleRendering)
+{
+    NumericLocaleGuard guard;
+    std::setlocale(LC_NUMERIC, "C");
+    // Non-integer values must match the old snprintf("%.12g") output
+    // byte for byte so committed artifacts stay identical.
+    const double values[] = {0.5,         -2.25,       1.0 / 3.0,
+                             3.0e-9,      6.25e17 + 0.5, 1234.5678,
+                             0.0001,      99.99999999999};
+    for (double v : values) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        EXPECT_EQ(jsonNumber(v), buf) << "v=" << v;
+    }
+    // Integer-valued doubles keep the integer fast path.
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(-17.0), "-17");
+    EXPECT_EQ(jsonNumber(9007199254740992.0), "9007199254740992");
+}
+
+TEST(JsonLocale, NonFiniteValuesAreNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+} // namespace

@@ -58,6 +58,63 @@ TEST(Stats, DistributionBucketsAndOverflow)
     EXPECT_EQ(dist.maxSampled(), 100);
 }
 
+TEST(Stats, PercentileEmptyDistributionIsZero)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "", 0, 10, 2);
+    EXPECT_EQ(dist.percentile(0.0), 0.0);
+    EXPECT_EQ(dist.percentile(0.5), 0.0);
+    EXPECT_EQ(dist.percentile(1.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleSample)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "", 0, 10, 2);
+    dist.sample(3);
+    // Every percentile of a one-sample distribution resolves to the
+    // upper edge of the bucket holding that sample: [2,4) -> 4.
+    EXPECT_DOUBLE_EQ(dist.percentile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(1.0), 4.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "", 0, 10, 2);
+    dist.sample(1);
+    dist.sample(9);
+    EXPECT_DOUBLE_EQ(dist.percentile(-0.5), dist.percentile(0.0));
+    EXPECT_DOUBLE_EQ(dist.percentile(2.0), dist.percentile(1.0));
+}
+
+TEST(Stats, PercentileBoundaries)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "", 0, 10, 2);
+    for (int v : {1, 3, 3, 5, 9})
+        dist.sample(v);
+    // rank(p=0) clamps to the first sample: bucket [0,2) -> 2.
+    EXPECT_DOUBLE_EQ(dist.percentile(0.0), 2.0);
+    // rank(p=0.5) = ceil(2.5) = 3rd sample: bucket [2,4) -> 4.
+    EXPECT_DOUBLE_EQ(dist.percentile(0.5), 4.0);
+    // rank(p=1) = 5th sample: bucket [8,10] upper edge clamps to max.
+    EXPECT_DOUBLE_EQ(dist.percentile(1.0), 10.0);
+}
+
+TEST(Stats, PercentileUnderAndOverflowSamples)
+{
+    StatGroup group("g");
+    Distribution dist(&group, "d", "", 0, 10, 2);
+    dist.sample(-7);
+    dist.sample(100);
+    // Ranks inside the underflow bucket report the true minimum;
+    // ranks past the last bucket report the true maximum.
+    EXPECT_DOUBLE_EQ(dist.percentile(0.0), -7.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(1.0), 100.0);
+}
+
 TEST(Stats, FormulaEvaluatesLazily)
 {
     StatGroup group("g");
