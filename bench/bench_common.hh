@@ -15,6 +15,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,9 +23,42 @@
 #include <vector>
 
 #include "core/experiments.hh"
+#include "core/sweep.hh"
 #include "sim/json.hh"
 
 namespace csb::bench {
+
+/**
+ * Strip a `--jobs N` (or `--jobs=N`) argument before google-benchmark
+ * sees argv, exactly like JsonReport strips `--json`.  Returns the
+ * requested worker count for the binary's SweepRunner: 0 means auto
+ * (one per hardware thread) and is the default, 1 is the exact serial
+ * path.  Results are byte-identical for every value -- the runner
+ * collects by point index -- so the flag only changes wall-clock.
+ */
+inline unsigned
+stripJobsFlag(int &argc, char **argv)
+{
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int consumed = 0;
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+            consumed = 2;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = unsigned(std::strtoul(arg.c_str() + 7, nullptr, 10));
+            consumed = 1;
+        }
+        if (consumed > 0) {
+            for (int j = i; j + consumed < argc; ++j)
+                argv[j] = argv[j + consumed];
+            argc -= consumed;
+            break;
+        }
+    }
+    return jobs;
+}
 
 /**
  * Machine-readable companion to the printed tables.
@@ -69,7 +103,15 @@ class JsonReport
 
     bool enabled() const { return !path_.empty(); }
 
-    /** Emit @p text to stdout and record it for the artifact. */
+    /**
+     * Emit @p text to stdout and record it for the artifact.
+     *
+     * Main thread only: rendered_ and std::cout are unsynchronized by
+     * design.  Sweep workers render into per-point buffers
+     * (core::SweepRunner::mapRendered) and the main thread splices
+     * them here in point order, which is what keeps artifacts
+     * byte-identical for any --jobs value.
+     */
     void
     print(const std::string &text)
     {
@@ -238,13 +280,18 @@ registerBandwidthPanel(const std::string &panel,
     }
 }
 
-/** Run, print and record the full sweep table for one panel. */
+/**
+ * Run, print and record the full sweep table for one panel.  The grid
+ * points execute through @p runner's workers; rendering and the
+ * JsonReport stay on the calling thread.
+ */
 inline core::BandwidthSweep
-printBandwidthPanel(JsonReport &report, const std::string &title,
+printBandwidthPanel(JsonReport &report, core::SweepRunner &runner,
+                    const std::string &title,
                     const core::BandwidthSetup &setup)
 {
     core::BandwidthSweep sweep = core::runBandwidthSweep(
-        title, setup, core::schemesForLine(setup.lineBytes),
+        runner, title, setup, core::schemesForLine(setup.lineBytes),
         core::defaultTransferSizes());
     std::ostringstream os;
     core::printSweep(sweep, os);
@@ -255,11 +302,12 @@ printBandwidthPanel(JsonReport &report, const std::string &title,
 
 /** Run, print and record one figure-5 latency panel. */
 inline core::LatencySweep
-printLatencyPanel(JsonReport &report, const std::string &title,
+printLatencyPanel(JsonReport &report, core::SweepRunner &runner,
+                  const std::string &title,
                   const core::BandwidthSetup &setup, bool lock_miss)
 {
     core::LatencySweep sweep =
-        core::runLatencySweep(title, setup, lock_miss);
+        core::runLatencySweep(runner, title, setup, lock_miss);
     std::ostringstream os;
     core::printLatencySweep(sweep, os);
     report.print(os.str());

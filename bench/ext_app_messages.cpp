@@ -23,6 +23,7 @@ main(int argc, char **argv)
     namespace core = csb::core;
     using core::MessageSizeDistribution;
 
+    core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "ext_app_messages");
     core::BandwidthSetup setup = muxSetup(6, 64);
     constexpr unsigned kMessages = 48;
@@ -32,7 +33,7 @@ main(int argc, char **argv)
         const char *name;
         std::vector<unsigned> sizes;
     };
-    const Workload workloads[] = {
+    const std::vector<Workload> workloads = {
         {"scientific (19-230B uniform)",
          core::drawSizes(MessageSizeDistribution::scientific(42),
                          kMessages)},
@@ -54,23 +55,39 @@ main(int argc, char **argv)
     report.beginTable("Application message traffic: send overhead per "
                       "message (CPU cycles)",
                       {"lock+PIO", "CSB PIO", "speedup"});
-    for (const Workload &workload : workloads) {
-        core::AppTrafficResult locked =
-            core::runMessageWorkload(setup, /*use_csb=*/false,
-                                     workload.sizes);
-        core::AppTrafficResult via_csb =
-            core::runMessageWorkload(setup, /*use_csb=*/true,
-                                     workload.sizes);
-        double speedup =
-            locked.cyclesPerMessage / via_csb.cyclesPerMessage;
-        report.printf("%-44s %8.1f %10.1f %9.2fx\n", workload.name,
-                      locked.cyclesPerMessage, via_csb.cyclesPerMessage,
-                      speedup);
-        report.addRow(workload.name,
-                      {locked.cyclesPerMessage, via_csb.cyclesPerMessage,
-                       speedup});
-        if (locked.delivered != workload.sizes.size() ||
-            via_csb.delivered != workload.sizes.size()) {
+    struct ModeResults
+    {
+        core::AppTrafficResult locked;
+        core::AppTrafficResult viaCsb;
+    };
+    // Each workload point runs both send modes in its own pair of
+    // Systems and renders its row into a per-point buffer.
+    auto rows = runner.mapRendered(
+        workloads, [&](const Workload &workload, std::ostream &os) {
+            ModeResults r;
+            r.locked = core::runMessageWorkload(setup, /*use_csb=*/false,
+                                                workload.sizes);
+            r.viaCsb = core::runMessageWorkload(setup, /*use_csb=*/true,
+                                                workload.sizes);
+            char buf[96];
+            std::snprintf(buf, sizeof buf, "%-44s %8.1f %10.1f %9.2fx\n",
+                          workload.name, r.locked.cyclesPerMessage,
+                          r.viaCsb.cyclesPerMessage,
+                          r.locked.cyclesPerMessage /
+                              r.viaCsb.cyclesPerMessage);
+            os << buf;
+            return r;
+        });
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const ModeResults &r = rows[i].value;
+        report.print(rows[i].text);
+        report.addRow(workloads[i].name,
+                      {r.locked.cyclesPerMessage,
+                       r.viaCsb.cyclesPerMessage,
+                       r.locked.cyclesPerMessage /
+                           r.viaCsb.cyclesPerMessage});
+        if (r.locked.delivered != workloads[i].sizes.size() ||
+            r.viaCsb.delivered != workloads[i].sizes.size()) {
             std::fprintf(stderr, "message count mismatch!\n");
             return 1;
         }

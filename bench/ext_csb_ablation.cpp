@@ -92,7 +92,14 @@ csbLatency(Tick flush_latency, unsigned n_dwords)
 int
 main(int argc, char **argv)
 {
+    core::SweepRunner runner(csb::bench::stripJobsFlag(argc, argv));
     csb::bench::JsonReport report(argc, argv, "ext_csb_ablation");
+
+    struct GridPoint
+    {
+        unsigned ratio;
+        unsigned bytes;
+    };
 
     report.print("=== Ablation 1a: CSB line buffers -- bus bandwidth "
                  "(8B mux bus) ===\n");
@@ -100,15 +107,27 @@ main(int argc, char **argv)
                  "(B/bus-cycle)\n");
     report.beginTable("Ablation 1a: CSB line buffers -- bus bandwidth",
                       {"1-buffer", "2-buffer"});
-    for (unsigned ratio : {1u, 2u, 6u}) {
-        for (unsigned bytes : {256u, 1024u}) {
-            double one = csbBandwidth(ratio, 1, false, bytes);
-            double two = csbBandwidth(ratio, 2, false, bytes);
-            report.printf("%-7u %-10u %10.2f %10.2f\n", ratio, bytes,
-                          one, two);
-            report.addRow("ratio" + std::to_string(ratio) + "/" +
-                              std::to_string(bytes),
-                          {one, two});
+    {
+        std::vector<GridPoint> grid;
+        for (unsigned ratio : {1u, 2u, 6u})
+            for (unsigned bytes : {256u, 1024u})
+                grid.push_back({ratio, bytes});
+        auto rows = runner.mapRendered(
+            grid, [](const GridPoint &g, std::ostream &os) {
+                double one = csbBandwidth(g.ratio, 1, false, g.bytes);
+                double two = csbBandwidth(g.ratio, 2, false, g.bytes);
+                char buf[64];
+                std::snprintf(buf, sizeof buf,
+                              "%-7u %-10u %10.2f %10.2f\n", g.ratio,
+                              g.bytes, one, two);
+                os << buf;
+                return std::pair<double, double>{one, two};
+            });
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            report.print(rows[i].text);
+            report.addRow("ratio" + std::to_string(grid[i].ratio) + "/" +
+                              std::to_string(grid[i].bytes),
+                          {rows[i].value.first, rows[i].value.second});
         }
     }
     report.print("(bus throughput is bus-limited either way)\n\n");
@@ -119,15 +138,27 @@ main(int argc, char **argv)
                  "(CPU cycles)\n");
     report.beginTable("Ablation 1b: CSB line buffers -- CPU completion",
                       {"1-buffer", "2-buffer"});
-    for (unsigned ratio : {2u, 6u}) {
-        for (unsigned bytes : {128u, 256u, 512u}) {
-            double one = csbCpuCompletion(ratio, 1, bytes);
-            double two = csbCpuCompletion(ratio, 2, bytes);
-            report.printf("%-7u %-10u %10.0f %10.0f\n", ratio, bytes,
-                          one, two);
-            report.addRow("ratio" + std::to_string(ratio) + "/" +
-                              std::to_string(bytes),
-                          {one, two});
+    {
+        std::vector<GridPoint> grid;
+        for (unsigned ratio : {2u, 6u})
+            for (unsigned bytes : {128u, 256u, 512u})
+                grid.push_back({ratio, bytes});
+        auto rows = runner.mapRendered(
+            grid, [](const GridPoint &g, std::ostream &os) {
+                double one = csbCpuCompletion(g.ratio, 1, g.bytes);
+                double two = csbCpuCompletion(g.ratio, 2, g.bytes);
+                char buf[64];
+                std::snprintf(buf, sizeof buf,
+                              "%-7u %-10u %10.0f %10.0f\n", g.ratio,
+                              g.bytes, one, two);
+                os << buf;
+                return std::pair<double, double>{one, two};
+            });
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            report.print(rows[i].text);
+            report.addRow("ratio" + std::to_string(grid[i].ratio) + "/" +
+                              std::to_string(grid[i].bytes),
+                          {rows[i].value.first, rows[i].value.second});
         }
     }
     report.print("(the second line buffer removes the stall of the next "
@@ -139,11 +170,23 @@ main(int argc, char **argv)
     report.print("transfer   full-line    partial\n");
     report.beginTable("Ablation 2: full-line vs partial flush",
                       {"full-line", "partial"});
-    for (unsigned bytes : {8u, 16u, 32u, 64u, 256u}) {
-        double full = csbBandwidth(6, 1, false, bytes);
-        double partial = csbBandwidth(6, 1, true, bytes);
-        report.printf("%-10u %10.2f %10.2f\n", bytes, full, partial);
-        report.addRow(std::to_string(bytes), {full, partial});
+    {
+        const std::vector<unsigned> sizes = {8u, 16u, 32u, 64u, 256u};
+        auto rows = runner.mapRendered(
+            sizes, [](unsigned bytes, std::ostream &os) {
+                double full = csbBandwidth(6, 1, false, bytes);
+                double partial = csbBandwidth(6, 1, true, bytes);
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%-10u %10.2f %10.2f\n",
+                              bytes, full, partial);
+                os << buf;
+                return std::pair<double, double>{full, partial};
+            });
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            report.print(rows[i].text);
+            report.addRow(std::to_string(sizes[i]),
+                          {rows[i].value.first, rows[i].value.second});
+        }
     }
     report.print("(partial flush removes the sub-line padding penalty "
                  "when the bus supports multiple burst sizes)\n\n");
@@ -154,11 +197,22 @@ main(int argc, char **argv)
     report.beginTable("Ablation 3: conditional-flush latency vs "
                       "figure 5 metric",
                       {"cycles"});
-    for (csb::Tick lat : {1u, 2u, 4u, 8u}) {
-        double cycles = csbLatency(lat, 8);
-        report.printf("%-15llu %7.0f\n",
-                      static_cast<unsigned long long>(lat), cycles);
-        report.addRow(std::to_string(lat), {cycles});
+    {
+        const std::vector<csb::Tick> lats = {1u, 2u, 4u, 8u};
+        auto rows = runner.mapRendered(
+            lats, [](csb::Tick lat, std::ostream &os) {
+                double cycles = csbLatency(lat, 8);
+                char buf[48];
+                std::snprintf(buf, sizeof buf, "%-15llu %7.0f\n",
+                              static_cast<unsigned long long>(lat),
+                              cycles);
+                os << buf;
+                return cycles;
+            });
+        for (std::size_t i = 0; i < lats.size(); ++i) {
+            report.print(rows[i].text);
+            report.addRow(std::to_string(lats[i]), {rows[i].value});
+        }
     }
     report.print("\n");
 

@@ -22,13 +22,14 @@ main(int argc, char **argv)
     namespace core = csb::core;
     using core::MessageSizeDistribution;
 
+    core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "ext_fault_sweep");
     core::BandwidthSetup setup = muxSetup(6, 64);
     constexpr unsigned kMessages = 48;
     const std::vector<unsigned> sizes = core::drawSizes(
         MessageSizeDistribution::scientific(42), kMessages);
 
-    const double rates[] = {0.0, 0.01, 0.02, 0.05, 0.10};
+    const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.10};
 
     report.print("=== Fault sweep: scientific message traffic under "
                  "injected bus/wire faults ===\n");
@@ -41,40 +42,64 @@ main(int argc, char **argv)
                       {"lock+PIO", "CSB PIO", "bus retries",
                        "retransmits", "dups+bad-csum", "exactly-once"});
 
+    struct RatePoint
+    {
+        std::string label;
+        std::vector<double> values;
+        bool exactlyOnce = false;
+    };
+    // Each fault rate is an independent pair of simulations (seeded
+    // injector per System), dispatched across the runner's workers
+    // and rendered into per-point buffers.
+    auto rows = runner.mapRendered(
+        rates, [&](double rate, std::ostream &os) {
+            csb::sim::FaultPlan plan;
+            plan.seed = 7;
+            plan.busWriteNackRate = rate;
+            plan.wireDropRate = rate;
+            plan.wireCorruptRate = rate;
+            plan.ackDropRate = rate;
+
+            core::AppTrafficResult locked = core::runMessageWorkload(
+                setup, /*use_csb=*/false, sizes, &plan);
+            core::AppTrafficResult via_csb = core::runMessageWorkload(
+                setup, /*use_csb=*/true, sizes, &plan);
+
+            double retries = static_cast<double>(locked.busRetries +
+                                                 via_csb.busRetries);
+            double retrans = static_cast<double>(locked.retransmits +
+                                                 via_csb.retransmits);
+            double discards = static_cast<double>(
+                locked.duplicatesSuppressed + locked.checksumDiscards +
+                via_csb.duplicatesSuppressed + via_csb.checksumDiscards);
+
+            RatePoint point;
+            point.exactlyOnce =
+                locked.exactlyOnce && via_csb.exactlyOnce;
+            char label[16];
+            std::snprintf(label, sizeof label, "%.2f", rate);
+            point.label = label;
+            point.values = {locked.cyclesPerMessage,
+                            via_csb.cyclesPerMessage,
+                            retries,
+                            retrans,
+                            discards,
+                            point.exactlyOnce ? 1.0 : 0.0};
+            char buf[128];
+            std::snprintf(buf, sizeof buf,
+                          "%9s %10.1f %9.1f %13.0f %13.0f %15.0f %14s\n",
+                          label, locked.cyclesPerMessage,
+                          via_csb.cyclesPerMessage, retries, retrans,
+                          discards, point.exactlyOnce ? "yes" : "NO");
+            os << buf;
+            return point;
+        });
+
     bool all_exactly_once = true;
-    for (double rate : rates) {
-        csb::sim::FaultPlan plan;
-        plan.seed = 7;
-        plan.busWriteNackRate = rate;
-        plan.wireDropRate = rate;
-        plan.wireCorruptRate = rate;
-        plan.ackDropRate = rate;
-
-        core::AppTrafficResult locked = core::runMessageWorkload(
-            setup, /*use_csb=*/false, sizes, &plan);
-        core::AppTrafficResult via_csb = core::runMessageWorkload(
-            setup, /*use_csb=*/true, sizes, &plan);
-
-        double retries = static_cast<double>(locked.busRetries +
-                                             via_csb.busRetries);
-        double retrans = static_cast<double>(locked.retransmits +
-                                             via_csb.retransmits);
-        double discards = static_cast<double>(
-            locked.duplicatesSuppressed + locked.checksumDiscards +
-            via_csb.duplicatesSuppressed + via_csb.checksumDiscards);
-        bool exactly_once = locked.exactlyOnce && via_csb.exactlyOnce;
-        all_exactly_once = all_exactly_once && exactly_once;
-
-        char label[16];
-        std::snprintf(label, sizeof label, "%.2f", rate);
-        report.printf("%9s %10.1f %9.1f %13.0f %13.0f %15.0f %14s\n",
-                      label, locked.cyclesPerMessage,
-                      via_csb.cyclesPerMessage, retries, retrans,
-                      discards, exactly_once ? "yes" : "NO");
-        report.addRow(label,
-                      {locked.cyclesPerMessage, via_csb.cyclesPerMessage,
-                       retries, retrans, discards,
-                       exactly_once ? 1.0 : 0.0});
+    for (const auto &row : rows) {
+        report.print(row.text);
+        report.addRow(row.value.label, row.value.values);
+        all_exactly_once = all_exactly_once && row.value.exactlyOnce;
     }
     report.print("(48 messages per run per mode; each message is "
                  "delivered exactly once at every fault rate -- the "

@@ -82,10 +82,11 @@ int
 main(int argc, char **argv)
 {
     using core::Scheme;
+    core::SweepRunner runner(csb::bench::stripJobsFlag(argc, argv));
     csb::bench::JsonReport report(argc, argv, "ext_loaded_bus");
-    const Scheme schemes[] = {Scheme::NoCombine, Scheme::Combine64,
-                              Scheme::Csb};
-    const double loads[] = {0.0, 8.0, 4.0, 2.0};
+    const std::vector<Scheme> schemes = {Scheme::NoCombine,
+                                         Scheme::Combine64, Scheme::Csb};
+    const std::vector<double> loads = {0.0, 8.0, 4.0, 2.0};
     constexpr unsigned transfer = 1024;
 
     report.print("=== I/O store bandwidth under background bus load "
@@ -93,17 +94,25 @@ main(int argc, char **argv)
     report.print("load         no-comb    comb-64        CSB\n");
     report.beginTable("I/O store bandwidth under background bus load",
                       {"no-comb", "comb-64", "CSB"});
-    for (double load : loads) {
+    // The load x scheme grid flattens into independent points; rows
+    // reassemble by index, so the table is identical for any --jobs.
+    std::vector<double> flat = runner.mapIndex(
+        loads.size() * schemes.size(), [&](std::size_t point) {
+            double load = loads[point / schemes.size()];
+            Scheme scheme = schemes[point % schemes.size()];
+            return loadedBandwidth(scheme, load, transfer);
+        });
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        double load = loads[i];
         std::string label =
             load == 0 ? "idle"
                       : "1/" + std::to_string(static_cast<int>(load)) +
                             " cyc";
         report.printf("%-10s", label.c_str());
-        std::vector<double> row;
-        for (Scheme scheme : schemes) {
-            row.push_back(loadedBandwidth(scheme, load, transfer));
-            report.printf(" %10.2f", row.back());
-        }
+        std::vector<double> row(flat.begin() + i * schemes.size(),
+                                flat.begin() + (i + 1) * schemes.size());
+        for (double bw : row)
+            report.printf(" %10.2f", bw);
         report.print("\n");
         report.addRow(label, row);
     }

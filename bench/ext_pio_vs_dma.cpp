@@ -15,6 +15,7 @@ main(int argc, char **argv)
     using namespace csb::bench;
     namespace core = csb::core;
 
+    core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "ext_pio_vs_dma");
     core::BandwidthSetup setup = muxSetup(6, 64);
     const std::vector<unsigned> sizes = {16,  32,  64,   128, 256,
@@ -25,20 +26,33 @@ main(int argc, char **argv)
     report.print("bytes       lock+PIO    CSB+PIO        DMA\n");
     report.beginTable("PIO vs DMA send latency (CPU cycles)",
                       {"lock+PIO", "CSB+PIO", "DMA"});
+    // One independent simulation per message size; each point renders
+    // its row into a private buffer and the main thread splices them
+    // back in size order.
+    auto rows = runner.mapRendered(
+        sizes, [&](unsigned size, std::ostream &os) {
+            core::MessageLatency lat =
+                core::measureMessageLatency(setup, size);
+            char buf[80];
+            std::snprintf(buf, sizeof buf, "%-8u %10.0f %10.0f %10.0f\n",
+                          size, lat.pioLockedCycles, lat.pioCsbCycles,
+                          lat.dmaCycles);
+            os << buf;
+            return lat;
+        });
+
     unsigned crossover_locked = 0;
     unsigned crossover_csb = 0;
-    for (unsigned size : sizes) {
-        core::MessageLatency lat = core::measureMessageLatency(setup, size);
-        report.printf("%-8u %10.0f %10.0f %10.0f\n", size,
-                      lat.pioLockedCycles, lat.pioCsbCycles,
-                      lat.dmaCycles);
-        report.addRow(std::to_string(size),
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const core::MessageLatency &lat = rows[i].value;
+        report.print(rows[i].text);
+        report.addRow(std::to_string(sizes[i]),
                       {lat.pioLockedCycles, lat.pioCsbCycles,
                        lat.dmaCycles});
         if (crossover_locked == 0 && lat.dmaCycles < lat.pioLockedCycles)
-            crossover_locked = size;
+            crossover_locked = sizes[i];
         if (crossover_csb == 0 && lat.dmaCycles < lat.pioCsbCycles)
-            crossover_csb = size;
+            crossover_csb = sizes[i];
     }
     report.print("\nDMA overtakes lock-protected PIO at: " +
                  (crossover_locked ? std::to_string(crossover_locked)

@@ -79,10 +79,11 @@ int
 main(int argc, char **argv)
 {
     using core::Scheme;
+    core::SweepRunner runner(csb::bench::stripJobsFlag(argc, argv));
     csb::bench::JsonReport report(argc, argv, "ext_smp_scaling");
     constexpr unsigned per_core = 1024;
-    const Scheme schemes[] = {Scheme::NoCombine, Scheme::Combine64,
-                              Scheme::Csb};
+    const std::vector<Scheme> schemes = {Scheme::NoCombine,
+                                         Scheme::Combine64, Scheme::Csb};
 
     report.print("=== SMP I/O store scaling (1 KiB per core, 8B mux "
                  "bus, ratio 6, 64B line) ===\n");
@@ -91,15 +92,30 @@ main(int argc, char **argv)
     report.beginTable("SMP I/O store scaling",
                       {"1-core agg", "2-core agg", "1-core done",
                        "2-core done"});
-    for (Scheme scheme : schemes) {
-        ScalingResult one = measure(scheme, 1, per_core);
-        ScalingResult two = measure(scheme, 2, per_core);
-        report.printf("%-10s %11.2f %11.2f %12.0f %12.0f\n",
-                      core::schemeName(scheme).c_str(), one.aggregate,
-                      two.aggregate, one.completion, two.completion);
-        report.addRow(core::schemeName(scheme),
-                      {one.aggregate, two.aggregate, one.completion,
-                       two.completion});
+    struct SchemePoint
+    {
+        ScalingResult one;
+        ScalingResult two;
+    };
+    auto rows = runner.mapRendered(
+        schemes, [&](Scheme scheme, std::ostream &os) {
+            SchemePoint point{measure(scheme, 1, per_core),
+                              measure(scheme, 2, per_core)};
+            char buf[96];
+            std::snprintf(buf, sizeof buf,
+                          "%-10s %11.2f %11.2f %12.0f %12.0f\n",
+                          core::schemeName(scheme).c_str(),
+                          point.one.aggregate, point.two.aggregate,
+                          point.one.completion, point.two.completion);
+            os << buf;
+            return point;
+        });
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const SchemePoint &point = rows[i].value;
+        report.print(rows[i].text);
+        report.addRow(core::schemeName(schemes[i]),
+                      {point.one.aggregate, point.two.aggregate,
+                       point.one.completion, point.two.completion});
     }
     report.print("(aggregate bytes per bus cycle and CPU-cycle "
                  "completion time.  Every scheme is bus-bound, so "

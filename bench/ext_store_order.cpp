@@ -86,23 +86,41 @@ mechanismName(Mechanism mechanism)
 int
 main(int argc, char **argv)
 {
+    core::SweepRunner runner(csb::bench::stripJobsFlag(argc, argv));
     csb::bench::JsonReport report(argc, argv, "ext_store_order");
     constexpr unsigned transfer = 1024;
-    const Mechanism mechanisms[] = {Mechanism::SeqOnly, Mechanism::Block,
-                                    Mechanism::Csb};
+    const std::vector<Mechanism> mechanisms = {
+        Mechanism::SeqOnly, Mechanism::Block, Mechanism::Csb};
 
     report.print("=== Store-order sensitivity (1 KiB, 8B mux bus, "
                  "ratio 6, 64B line) ===\n");
     report.print("mechanism   ascending   shuffled   order penalty\n");
     report.beginTable("Store-order sensitivity",
                       {"ascending", "shuffled", "order penalty %"});
-    for (Mechanism mechanism : mechanisms) {
-        double seq = orderBandwidth(mechanism, false, transfer);
-        double shuf = orderBandwidth(mechanism, true, transfer);
-        double penalty = 100.0 * (1.0 - shuf / seq);
-        report.printf("%-11s %9.2f %10.2f %12.0f%%\n",
-                      mechanismName(mechanism), seq, shuf, penalty);
-        report.addRow(mechanismName(mechanism), {seq, shuf, penalty});
+    struct OrderPoint
+    {
+        double seq = 0;
+        double shuf = 0;
+        double penalty = 0;
+    };
+    auto rows = runner.mapRendered(
+        mechanisms, [&](Mechanism mechanism, std::ostream &os) {
+            OrderPoint point;
+            point.seq = orderBandwidth(mechanism, false, transfer);
+            point.shuf = orderBandwidth(mechanism, true, transfer);
+            point.penalty = 100.0 * (1.0 - point.shuf / point.seq);
+            char buf[80];
+            std::snprintf(buf, sizeof buf, "%-11s %9.2f %10.2f %12.0f%%\n",
+                          mechanismName(mechanism), point.seq, point.shuf,
+                          point.penalty);
+            os << buf;
+            return point;
+        });
+    for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+        const OrderPoint &point = rows[i].value;
+        report.print(rows[i].text);
+        report.addRow(mechanismName(mechanisms[i]),
+                      {point.seq, point.shuf, point.penalty});
     }
     report.print("(bytes per bus cycle.  Pattern-detecting hardware "
                  "loses its combining on shuffled stores; the "

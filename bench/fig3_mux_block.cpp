@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    csb::core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "fig3_mux_block");
 
     struct Panel
@@ -26,7 +27,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
-            report,
+            report, runner,
             std::string(panel.name) +
                 ": 8B multiplexed bus, ratio 6, no turnaround",
             muxSetup(6, panel.block));

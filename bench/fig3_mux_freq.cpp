@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    csb::core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "fig3_mux_freq");
 
     struct Panel
@@ -27,7 +28,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
-            report,
+            report, runner,
             std::string(panel.name) +
                 ": 8B multiplexed bus, 32B block, no turnaround",
             muxSetup(panel.ratio, 32));

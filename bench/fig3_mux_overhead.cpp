@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    csb::core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "fig3_mux_overhead");
 
     struct Panel
@@ -28,7 +29,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
-            report,
+            report, runner,
             std::string(panel.name) +
                 ": 8B multiplexed bus, ratio 6, 64B block",
             muxSetup(6, 64, panel.turnaround, panel.ack));

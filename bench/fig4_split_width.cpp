@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace csb::bench;
+    csb::core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "fig4_split_width");
 
     struct Panel
@@ -25,7 +26,7 @@ main(int argc, char **argv)
 
     for (const Panel &panel : panels) {
         printBandwidthPanel(
-            report,
+            report, runner,
             std::string(panel.name) +
                 ": ratio 6, 64B block, no turnaround",
             splitSetup(panel.width, 6, 64));

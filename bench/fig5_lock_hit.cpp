@@ -14,11 +14,12 @@ main(int argc, char **argv)
     namespace core = csb::core;
     using csb::core::Scheme;
 
+    core::SweepRunner runner(stripJobsFlag(argc, argv));
     JsonReport report(argc, argv, "fig5_lock_hit");
     core::BandwidthSetup setup = muxSetup(6, 64);
 
     core::LatencySweep sweep = printLatencyPanel(
-        report,
+        report, runner,
         "Fig 5(a): lock hits in L1 -- 8B multiplexed bus, ratio 6",
         setup, /*lock_miss=*/false);
 

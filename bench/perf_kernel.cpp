@@ -345,6 +345,10 @@ main(int argc, char **argv)
         }
     }
 
+    // Accept --jobs like every other bench, but run the workloads
+    // serially regardless: this binary measures wall-clock kernel
+    // rates, and concurrent workloads would time each other's noise.
+    (void)stripJobsFlag(argc, argv);
     JsonReport report(argc, argv, "perf_kernel");
 
     constexpr std::uint64_t kThroughputEvents = 200'000;
@@ -368,12 +372,10 @@ main(int argc, char **argv)
 
     ChurnResult churn_new, churn_old;
     std::uint64_t compactions = 0;
-    std::size_t pool = 0;
     {
         csb::sim::EventQueue q;
         churn_new = runChurn(q, kChurnWindow, kChurnIters);
         compactions = q.numCompactions();
-        pool = q.funcPoolSize();
     }
     {
         LegacyEventQueue q;

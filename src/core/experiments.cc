@@ -100,7 +100,8 @@ measureStoreBandwidth(const BandwidthSetup &setup, Scheme scheme,
 }
 
 BandwidthSweep
-runBandwidthSweep(const std::string &title, const BandwidthSetup &setup,
+runBandwidthSweep(SweepRunner &runner, const std::string &title,
+                  const BandwidthSetup &setup,
                   const std::vector<Scheme> &schemes,
                   const std::vector<unsigned> &sizes)
 {
@@ -108,14 +109,32 @@ runBandwidthSweep(const std::string &title, const BandwidthSetup &setup,
     sweep.title = title;
     sweep.sizes = sizes;
     sweep.schemes = schemes;
-    for (Scheme scheme : schemes) {
-        std::vector<double> row;
-        row.reserve(sizes.size());
-        for (unsigned size : sizes)
-            row.push_back(measureStoreBandwidth(setup, scheme, size));
-        sweep.bandwidth.push_back(std::move(row));
+
+    // Flatten the scheme x size grid into independent points; each
+    // builds its own System, so the runner may execute them on any
+    // worker in any order.  Results come back in grid-index order.
+    std::vector<double> flat = runner.mapIndex(
+        schemes.size() * sizes.size(), [&](std::size_t point) {
+            Scheme scheme = schemes[point / sizes.size()];
+            unsigned size = sizes[point % sizes.size()];
+            return measureStoreBandwidth(setup, scheme, size);
+        });
+
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        sweep.bandwidth.emplace_back(
+            flat.begin() + i * sizes.size(),
+            flat.begin() + (i + 1) * sizes.size());
     }
     return sweep;
+}
+
+BandwidthSweep
+runBandwidthSweep(const std::string &title, const BandwidthSetup &setup,
+                  const std::vector<Scheme> &schemes,
+                  const std::vector<unsigned> &sizes)
+{
+    SweepRunner serial(1);
+    return runBandwidthSweep(serial, title, setup, schemes, sizes);
 }
 
 void
@@ -176,24 +195,39 @@ measureCsbSequence(const BandwidthSetup &setup, unsigned n_dwords)
 }
 
 LatencySweep
-runLatencySweep(const std::string &title, const BandwidthSetup &setup,
-                bool lock_miss)
+runLatencySweep(SweepRunner &runner, const std::string &title,
+                const BandwidthSetup &setup, bool lock_miss)
 {
     LatencySweep sweep;
     sweep.title = title;
     sweep.dwords = {2, 3, 4, 5, 6, 7, 8};
     sweep.schemes = schemesForLine(setup.lineBytes);
-    for (Scheme scheme : sweep.schemes) {
-        std::vector<double> row;
-        for (unsigned n : sweep.dwords) {
-            row.push_back(scheme == Scheme::Csb
-                              ? measureCsbSequence(setup, n)
-                              : measureLockedSequence(setup, scheme, n,
-                                                      lock_miss));
-        }
-        sweep.cycles.push_back(std::move(row));
+
+    std::vector<double> flat = runner.mapIndex(
+        sweep.schemes.size() * sweep.dwords.size(),
+        [&](std::size_t point) {
+            Scheme scheme = sweep.schemes[point / sweep.dwords.size()];
+            unsigned n = sweep.dwords[point % sweep.dwords.size()];
+            return scheme == Scheme::Csb
+                       ? measureCsbSequence(setup, n)
+                       : measureLockedSequence(setup, scheme, n,
+                                               lock_miss);
+        });
+
+    for (std::size_t i = 0; i < sweep.schemes.size(); ++i) {
+        sweep.cycles.emplace_back(
+            flat.begin() + i * sweep.dwords.size(),
+            flat.begin() + (i + 1) * sweep.dwords.size());
     }
     return sweep;
+}
+
+LatencySweep
+runLatencySweep(const std::string &title, const BandwidthSetup &setup,
+                bool lock_miss)
+{
+    SweepRunner serial(1);
+    return runLatencySweep(serial, title, setup, lock_miss);
 }
 
 void

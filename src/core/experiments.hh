@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bus/system_bus.hh"
+#include "sweep.hh"
 #include "system_config.hh"
 
 namespace csb::core {
@@ -69,7 +70,19 @@ struct BandwidthSweep
     std::vector<std::vector<double>> bandwidth;
 };
 
-/** Run a full scheme x size sweep for one panel. */
+/**
+ * Run a full scheme x size sweep for one panel.  Every grid point is
+ * an independent Simulator run dispatched through @p runner; results
+ * land in the matrix by grid index, so the sweep is byte-identical
+ * for any job count.
+ */
+BandwidthSweep runBandwidthSweep(SweepRunner &runner,
+                                 const std::string &title,
+                                 const BandwidthSetup &setup,
+                                 const std::vector<Scheme> &schemes,
+                                 const std::vector<unsigned> &sizes);
+
+/** Serial convenience overload (a jobs=1 runner). */
 BandwidthSweep runBandwidthSweep(const std::string &title,
                                  const BandwidthSetup &setup,
                                  const std::vector<Scheme> &schemes,
@@ -100,6 +113,10 @@ struct LatencySweep
     std::vector<Scheme> schemes; ///< locking schemes; Csb means the CSB
     std::vector<std::vector<double>> cycles;
 };
+
+/** Parallel variant: grid points dispatched through @p runner. */
+LatencySweep runLatencySweep(SweepRunner &runner, const std::string &title,
+                             const BandwidthSetup &setup, bool lock_miss);
 
 LatencySweep runLatencySweep(const std::string &title,
                              const BandwidthSetup &setup, bool lock_miss);

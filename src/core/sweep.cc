@@ -1,0 +1,19 @@
+#include "sweep.hh"
+
+namespace csb::core {
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    return jobs == 0 ? sim::ThreadPool::defaultThreads() : jobs;
+}
+
+sim::ThreadPool &
+SweepRunner::pool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<sim::ThreadPool>(jobs_);
+    return *pool_;
+}
+
+} // namespace csb::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * Every experiment in this repo is a grid of *independent* simulation
+ * runs (scheme x transfer size, fault rate, message mix, ...).  Each
+ * point builds its own Simulator/System, so points can execute on a
+ * worker pool -- but artifacts must stay byte-identical no matter how
+ * the OS schedules the workers.  SweepRunner guarantees that by
+ * construction:
+ *
+ *  - results are collected **by point index, never by completion
+ *    order**;
+ *  - `jobs == 1` runs the points inline on the calling thread, in
+ *    index order, with no pool at all -- the exact serial path;
+ *  - worker code renders into a per-point buffer (mapRendered), never
+ *    into std::cout or a shared string;
+ *  - when points throw, the exception for the **lowest** failing
+ *    index is rethrown at the join point, matching what the serial
+ *    loop would have thrown first.
+ */
+
+#ifndef CSB_CORE_SWEEP_HH
+#define CSB_CORE_SWEEP_HH
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace csb::core {
+
+/** 0 means auto: one job per hardware thread (at least 1). */
+unsigned resolveJobs(unsigned jobs);
+
+/** A sweep point's result plus the text it rendered into its buffer. */
+template <typename T>
+struct Rendered
+{
+    T value;
+    std::string text;
+};
+
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 = auto, 1 = exact serial path. */
+    explicit SweepRunner(unsigned jobs = 1) : jobs_(resolveJobs(jobs)) {}
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Evaluate @p fn(0) .. @p fn(n-1) and return the results in index
+     * order.  @p fn must be safe to call concurrently from worker
+     * threads when jobs() > 1 (i.e. build its own Simulator/System
+     * per call and touch no shared mutable state).
+     */
+    template <typename Fn>
+    auto
+    mapIndex(std::size_t n, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using T = std::invoke_result_t<Fn &, std::size_t>;
+        std::vector<T> results;
+        results.reserve(n);
+        if (jobs_ == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                results.push_back(fn(i));
+            return results;
+        }
+
+        std::vector<std::optional<T>> slots(n);
+        std::vector<std::exception_ptr> errors(n);
+        sim::ThreadPool &pool = this->pool();
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                try {
+                    slots[i].emplace(fn(i));
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(std::move(*slots[i]));
+        return results;
+    }
+
+    /** mapIndex over a vector of points: fn(point) per point. */
+    template <typename Point, typename Fn>
+    auto
+    map(const std::vector<Point> &points, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, const Point &>>
+    {
+        return mapIndex(points.size(), [&](std::size_t i) {
+            return fn(points[i]);
+        });
+    }
+
+    /**
+     * Per-point buffer API: @p fn(point, os) renders its table rows
+     * into the ostream it is handed -- one private buffer per point,
+     * so workers never touch std::cout or a shared rendered string.
+     * The caller splices the buffers back in index order.
+     */
+    template <typename Point, typename Fn>
+    auto
+    mapRendered(const std::vector<Point> &points, Fn &&fn)
+        -> std::vector<Rendered<
+            std::invoke_result_t<Fn &, const Point &, std::ostream &>>>
+    {
+        using V =
+            std::invoke_result_t<Fn &, const Point &, std::ostream &>;
+        return mapIndex(points.size(), [&](std::size_t i) {
+            std::ostringstream os;
+            V value = fn(points[i], os);
+            return Rendered<V>{std::move(value), os.str()};
+        });
+    }
+
+  private:
+    sim::ThreadPool &pool();
+
+    unsigned jobs_;
+    std::unique_ptr<sim::ThreadPool> pool_; ///< lazy, reused across maps
+};
+
+} // namespace csb::core
+
+#endif // CSB_CORE_SWEEP_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 
 #include "sim/logging.hh"
 
@@ -228,8 +229,12 @@ System::~System()
     // file, serialize the full stats tree there at teardown.  Each
     // System overwrites the file, so a process that builds several
     // systems (the bench sweeps) leaves the last configuration's
-    // tree -- exactly one valid JSON document either way.
+    // tree -- exactly one valid JSON document either way.  Concurrent
+    // sweep workers tear Systems down in parallel; the mutex keeps
+    // each rewrite atomic (some System's complete tree wins).
     if (const char *path = std::getenv("CSBSIM_STATS_JSON")) {
+        static std::mutex export_mutex;
+        std::lock_guard<std::mutex> lock(export_mutex);
         std::ofstream os(path);
         if (os)
             dumpStatsJson(os);

@@ -10,8 +10,9 @@ namespace csb::sim {
 
 Simulator::Simulator()
 {
-    // The newest simulator provides trace timestamps; in practice one
-    // simulator is live at a time per measurement.
+    // The newest simulator on this thread provides trace timestamps;
+    // the source is thread-local, so concurrent sweep workers each
+    // stamp trace lines with their own simulator's ticks.
     trace::setTickSource([this] { return curTick(); });
 }
 

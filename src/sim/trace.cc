@@ -1,5 +1,6 @@
 #include "trace.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -10,14 +11,19 @@ namespace csb::sim::trace {
 
 namespace {
 
+/**
+ * Channel configuration is process-wide and mutex-guarded so that
+ * concurrent Simulator instances (core::SweepRunner workers) can
+ * trace safely.  The hot disabled path reads one relaxed atomic.
+ */
 struct TraceState
 {
+    std::mutex mutex;
     std::set<std::string> channels;
     bool all = false;
-    bool anyEnabled = false;
+    std::atomic<bool> anyEnabled{false};
+    std::atomic<bool> envLoaded{false};
     std::ostream *out = &std::cerr;
-    std::function<Tick()> tickSource;
-    bool envLoaded = false;
 };
 
 TraceState &
@@ -27,30 +33,42 @@ state()
     return instance;
 }
 
+/**
+ * The tick source is per-thread: each sweep worker runs its own
+ * Simulator, and its trace lines must show that simulator's ticks.
+ */
+thread_local std::function<Tick()> tickSource;
+
 void
 loadEnvOnce()
 {
     TraceState &s = state();
-    if (s.envLoaded)
+    if (s.envLoaded.load(std::memory_order_acquire))
         return;
-    s.envLoaded = true;
     const char *env = std::getenv("CSBSIM_TRACE");
-    if (!env)
-        return;
-    std::string spec(env);
+    std::string spec(env != nullptr ? env : "");
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.envLoaded.load(std::memory_order_relaxed))
+        return; // another thread (or an explicit enable()) won
     std::size_t start = 0;
-    while (start <= spec.size()) {
+    while (start <= spec.size() && !spec.empty()) {
         std::size_t comma = spec.find(',', start);
         std::string name =
             spec.substr(start, comma == std::string::npos
                                    ? std::string::npos
                                    : comma - start);
-        if (!name.empty())
-            enable(name);
+        if (!name.empty()) {
+            if (name == "all")
+                s.all = true;
+            else
+                s.channels.insert(name);
+            s.anyEnabled.store(true, std::memory_order_relaxed);
+        }
         if (comma == std::string::npos)
             break;
         start = comma + 1;
     }
+    s.envLoaded.store(true, std::memory_order_release);
 }
 
 } // namespace
@@ -59,9 +77,10 @@ bool
 enabled(const std::string &name)
 {
     loadEnvOnce();
-    const TraceState &s = state();
-    if (!s.anyEnabled)
+    TraceState &s = state();
+    if (!s.anyEnabled.load(std::memory_order_relaxed))
         return false;
+    std::lock_guard<std::mutex> lock(s.mutex);
     return s.all || s.channels.count(name) != 0;
 }
 
@@ -69,39 +88,45 @@ void
 enable(const std::string &name)
 {
     TraceState &s = state();
-    s.envLoaded = true; // explicit control overrides lazy env load
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // explicit control overrides lazy env load
+    s.envLoaded.store(true, std::memory_order_release);
     if (name == "all") {
         s.all = true;
     } else {
         s.channels.insert(name);
     }
-    s.anyEnabled = true;
+    s.anyEnabled.store(true, std::memory_order_relaxed);
 }
 
 void
 disable(const std::string &name)
 {
     TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
     if (name == "all") {
         s.all = false;
         s.channels.clear();
-        s.anyEnabled = false;
+        s.anyEnabled.store(false, std::memory_order_relaxed);
     } else {
         s.channels.erase(name);
-        s.anyEnabled = s.all || !s.channels.empty();
+        s.anyEnabled.store(s.all || !s.channels.empty(),
+                           std::memory_order_relaxed);
     }
 }
 
 void
 setOutput(std::ostream *os)
 {
-    state().out = os != nullptr ? os : &std::cerr;
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.out = os != nullptr ? os : &std::cerr;
 }
 
 void
 setTickSource(std::function<Tick()> source)
 {
-    state().tickSource = std::move(source);
+    tickSource = std::move(source);
 }
 
 void
@@ -116,14 +141,17 @@ void
 emit(const std::string &channel, const std::string &message)
 {
     TraceState &s = state();
-    std::ostream &os = *s.out;
-    os << "[";
-    if (s.tickSource) {
-        os << std::setw(9) << s.tickSource();
+    // Format outside the lock; the tick source is thread-local.
+    std::ostringstream line;
+    line << "[";
+    if (tickSource) {
+        line << std::setw(9) << tickSource();
     } else {
-        os << std::setw(9) << "-";
+        line << std::setw(9) << "-";
     }
-    os << "] " << channel << ": " << message << "\n";
+    line << "] " << channel << ": " << message << "\n";
+    std::lock_guard<std::mutex> lock(s.mutex);
+    *s.out << line.str();
 }
 
 } // namespace detail

@@ -41,7 +41,12 @@ void disable(const std::string &name);
 /** Redirect trace output (default: std::cerr).  Not owned. */
 void setOutput(std::ostream *os);
 
-/** Install the tick source used for line prefixes. */
+/**
+ * Install the tick source used for line prefixes.  The source is
+ * thread-local: every Simulator registers itself on the thread it is
+ * constructed on, so concurrent sweep workers each stamp lines with
+ * their own simulator's ticks.
+ */
 void setTickSource(std::function<Tick()> source);
 
 /** Re-read CSBSIM_TRACE from the environment (called once lazily). */

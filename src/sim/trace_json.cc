@@ -1,11 +1,13 @@
 #include "trace_json.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "json.hh"
 
@@ -23,22 +25,32 @@ struct JsonEvent
     std::vector<SpanArg> args;
 };
 
+/**
+ * The event buffer is process-wide (one trace file per process), so
+ * it is mutex-guarded: concurrent Simulator instances may append
+ * spans from sweep worker threads.  The disabled fast path reads a
+ * single relaxed atomic.
+ */
 struct TraceJsonState
 {
+    std::mutex mutex;
+    std::atomic<bool> enabled{false};       // mirrors out != nullptr
     std::ostream *out = nullptr;            // active sink, if any
     std::unique_ptr<std::ofstream> file;    // owned when env/file-based
     std::vector<JsonEvent> events;
-    bool envLoaded = false;
+    std::atomic<bool> envLoaded{false};
 
     ~TraceJsonState()
     {
         // Flush the env-configured file sink at exit; a test-provided
         // ostream may already be dead by now, so only the owned file
-        // is safe to touch.
+        // is safe to touch.  Threads are gone at static destruction,
+        // so no lock is needed (or safe) here.
         if (file && file->is_open())
             flushTo(*file);
     }
 
+    /** Caller holds mutex (except the static destructor above). */
     void
     flushTo(std::ostream &os)
     {
@@ -107,45 +119,26 @@ state()
     return instance;
 }
 
+void enableFileLocked(TraceJsonState &s, const std::string &path);
+
 void
 loadEnvOnce()
 {
     TraceJsonState &s = state();
-    if (s.envLoaded)
+    if (s.envLoaded.load(std::memory_order_acquire))
         return;
-    s.envLoaded = true;
     const char *env = std::getenv("CSBSIM_TRACE_JSON");
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.envLoaded.load(std::memory_order_relaxed))
+        return; // another thread (or an explicit jsonEnable*) won
     if (env && *env)
-        jsonEnableFile(env);
-}
-
-} // namespace
-
-bool
-jsonEnabled()
-{
-    loadEnvOnce();
-    return state().out != nullptr;
+        enableFileLocked(s, env);
+    s.envLoaded.store(true, std::memory_order_release);
 }
 
 void
-jsonEnable(std::ostream *os)
+enableFileLocked(TraceJsonState &s, const std::string &path)
 {
-    TraceJsonState &s = state();
-    s.envLoaded = true; // explicit control overrides lazy env load
-    s.file.reset();
-    s.out = os;
-}
-
-void
-jsonEnableFile(const std::string &path)
-{
-    TraceJsonState &s = state();
-    s.envLoaded = true;
-    if (path.empty()) {
-        jsonDisable();
-        return;
-    }
     auto file = std::make_unique<std::ofstream>(path);
     if (!file->is_open()) {
         std::fprintf(stderr,
@@ -155,22 +148,59 @@ jsonEnableFile(const std::string &path)
     }
     s.file = std::move(file);
     s.out = s.file.get();
+    s.enabled.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+jsonEnabled()
+{
+    loadEnvOnce();
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void
+jsonEnable(std::ostream *os)
+{
+    TraceJsonState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envLoaded.store(true, std::memory_order_release);
+    s.file.reset();
+    s.out = os;
+    s.enabled.store(os != nullptr, std::memory_order_relaxed);
+}
+
+void
+jsonEnableFile(const std::string &path)
+{
+    TraceJsonState &s = state();
+    if (path.empty()) {
+        jsonDisable();
+        return;
+    }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envLoaded.store(true, std::memory_order_release);
+    enableFileLocked(s, path);
 }
 
 void
 jsonDisable()
 {
     TraceJsonState &s = state();
-    s.envLoaded = true;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envLoaded.store(true, std::memory_order_release);
     s.events.clear();
     s.out = nullptr;
     s.file.reset();
+    s.enabled.store(false, std::memory_order_relaxed);
 }
 
 void
 jsonFlush()
 {
     TraceJsonState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
     if (s.out == nullptr) {
         s.events.clear();
         return;
@@ -181,7 +211,9 @@ jsonFlush()
 std::size_t
 jsonPendingEvents()
 {
-    return state().events.size();
+    TraceJsonState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.events.size();
 }
 
 void
@@ -191,8 +223,9 @@ jsonSpan(const std::string &track, const std::string &name,
     if (!jsonEnabled())
         return;
     Tick dur = end > start ? end - start : 1;
-    state().events.push_back(
-        {track, name, start, dur, false, std::move(args)});
+    TraceJsonState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.push_back({track, name, start, dur, false, std::move(args)});
 }
 
 void
@@ -201,7 +234,9 @@ jsonInstant(const std::string &track, const std::string &name,
 {
     if (!jsonEnabled())
         return;
-    state().events.push_back({track, name, ts, 0, true, std::move(args)});
+    TraceJsonState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.push_back({track, name, ts, 0, true, std::move(args)});
 }
 
 std::string

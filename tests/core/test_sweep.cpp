@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the SweepRunner determinism contract: results come back in
+ * point-index order regardless of completion order, the parallel path
+ * reproduces the serial path bit for bit, rendering goes to private
+ * per-point buffers, and exceptions pick the lowest failing index
+ * (what a serial loop would have thrown first).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "core/sweep.hh"
+#include "sim/thread_pool.hh"
+
+namespace {
+
+using csb::core::SweepRunner;
+
+TEST(Sweep, ResolveJobs)
+{
+    EXPECT_EQ(csb::core::resolveJobs(1), 1u);
+    EXPECT_EQ(csb::core::resolveJobs(7), 7u);
+    EXPECT_EQ(csb::core::resolveJobs(0),
+              csb::sim::ThreadPool::defaultThreads());
+}
+
+TEST(Sweep, SerialPathRunsInline)
+{
+    SweepRunner runner(1);
+    EXPECT_EQ(runner.jobs(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    runner.mapIndex(8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+        return i;
+    });
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected) << "jobs=1 must evaluate in index order";
+}
+
+TEST(Sweep, ResultsIndexedNotCompletionOrdered)
+{
+    // Later points finish first (earlier points sleep longer); the
+    // result vector must still be in index order.
+    SweepRunner runner(4);
+    constexpr std::size_t n = 12;
+    std::vector<std::size_t> results =
+        runner.mapIndex(n, [](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds((n - i) * 2));
+            return i * 10;
+        });
+    ASSERT_EQ(results.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(results[i], i * 10);
+}
+
+TEST(Sweep, ParallelMatchesSerialExactly)
+{
+    auto fn = [](std::size_t i) {
+        // Deterministic but non-trivial per-point arithmetic.
+        double x = 1.0 + double(i);
+        for (int k = 0; k < 50; ++k)
+            x = x * 1.0000001 + double(k % 7);
+        return x;
+    };
+    SweepRunner serial(1);
+    SweepRunner parallel(4);
+    std::vector<double> a = serial.mapIndex(64, fn);
+    std::vector<double> b = parallel.mapIndex(64, fn);
+    EXPECT_EQ(a, b) << "--jobs N must be bit-identical to --jobs 1";
+}
+
+TEST(Sweep, MapOverPoints)
+{
+    SweepRunner runner(3);
+    std::vector<int> points = {5, 3, 9, 1};
+    std::vector<int> doubled =
+        runner.map(points, [](int p) { return 2 * p; });
+    EXPECT_EQ(doubled, (std::vector<int>{10, 6, 18, 2}));
+}
+
+TEST(Sweep, MapRenderedUsesPrivateBuffers)
+{
+    SweepRunner runner(4);
+    std::vector<int> points = {0, 1, 2, 3, 4, 5, 6, 7};
+    auto rows = runner.mapRendered(
+        points, [](int p, std::ostream &os) {
+            // Interleave writes with a sleep so concurrent points
+            // would corrupt a shared stream.
+            os << "point " << p;
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));
+            os << " done\n";
+            return p * p;
+        });
+    ASSERT_EQ(rows.size(), points.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].value, int(i * i));
+        EXPECT_EQ(rows[i].text,
+                  "point " + std::to_string(i) + " done\n");
+    }
+}
+
+TEST(Sweep, LowestIndexExceptionWins)
+{
+    // Two failing points; the higher index fails *first* in wall
+    // time, but the join must rethrow the lowest index's exception --
+    // exactly what a serial loop would have thrown.
+    SweepRunner runner(4);
+    auto run = [&] {
+        runner.mapIndex(8, [](std::size_t i) -> int {
+            if (i == 6)
+                throw std::logic_error("late index, early failure");
+            if (i == 2) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(30));
+                throw std::runtime_error("early index, late failure");
+            }
+            return int(i);
+        });
+    };
+    try {
+        run();
+        FAIL() << "mapIndex did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "early index, late failure");
+    } catch (const std::logic_error &) {
+        FAIL() << "rethrew the higher-index exception";
+    }
+}
+
+TEST(Sweep, SerialExceptionStopsAtFirstFailure)
+{
+    SweepRunner runner(1);
+    std::atomic<int> evaluated{0};
+    auto run = [&] {
+        runner.mapIndex(8, [&](std::size_t i) -> int {
+            evaluated.fetch_add(1);
+            if (i == 3)
+                throw std::runtime_error("stop");
+            return int(i);
+        });
+    };
+    EXPECT_THROW(run(), std::runtime_error);
+    EXPECT_EQ(evaluated.load(), 4)
+        << "jobs=1 must not evaluate points past the failure";
+}
+
+TEST(Sweep, RunnerIsReusableAcrossMaps)
+{
+    SweepRunner runner(4);
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::size_t> r =
+            runner.mapIndex(16, [](std::size_t i) { return i + 1; });
+        ASSERT_EQ(r.size(), 16u);
+        EXPECT_EQ(r.front(), 1u);
+        EXPECT_EQ(r.back(), 16u);
+    }
+}
+
+} // namespace
