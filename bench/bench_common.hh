@@ -20,6 +20,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiments.hh"
@@ -58,6 +59,57 @@ stripJobsFlag(int &argc, char **argv)
         }
     }
     return jobs;
+}
+
+/**
+ * Trace capture/replay file arguments of a bench binary
+ * (docs/TRACE_FORMAT.md).  Stripped before google-benchmark sees argv.
+ */
+struct TraceFileFlags
+{
+    /** `--trace-record PREFIX`: write point i to `PREFIX.<i>.csbt`. */
+    std::string record;
+    /** `--trace-replay PREFIX`: replay from `PREFIX.<i>.csbt` files. */
+    std::string replay;
+};
+
+/**
+ * Strip `--trace-record PREFIX` / `--trace-replay PREFIX` (and their
+ * `=`-joined forms).  Benches with trace support write every recorded
+ * grid point to its own CSBT file, or feed the replay phase from
+ * previously written files instead of in-memory streams, exercising
+ * the on-disk round trip end to end.
+ */
+inline TraceFileFlags
+stripTraceFlags(int &argc, char **argv)
+{
+    TraceFileFlags flags;
+    const std::pair<const char *, std::string *> known[] = {
+        {"--trace-record", &flags.record},
+        {"--trace-replay", &flags.replay},
+    };
+    for (int i = 1; i < argc;) {
+        std::string arg = argv[i];
+        int consumed = 0;
+        for (const auto &[name, slot] : known) {
+            std::string joined = std::string(name) + "=";
+            if (arg == name && i + 1 < argc) {
+                *slot = argv[i + 1];
+                consumed = 2;
+            } else if (arg.rfind(joined, 0) == 0) {
+                *slot = arg.substr(joined.size());
+                consumed = 1;
+            }
+        }
+        if (consumed == 0) {
+            ++i;
+            continue;
+        }
+        for (int j = i; j + consumed < argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+    }
+    return flags;
 }
 
 /**

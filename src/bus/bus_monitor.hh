@@ -16,6 +16,11 @@
 #include "sim/types.hh"
 #include "transaction.hh"
 
+namespace csb::sim {
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace csb::sim
+
 namespace csb::bus {
 
 /** Records every completed transaction; supports measurement windows. */
@@ -53,6 +58,14 @@ class BusMonitor
     /** Bus cycle of the last matching data cycle (or 0). */
     std::uint64_t lastDataCycle(
         const std::function<bool(const TxnRecord &)> &pred = {}) const;
+
+    /**
+     * Serialize all transaction records so bandwidth measurements
+     * spanning a checkpoint boundary match an uninterrupted run.
+     * Restore requires an empty monitor.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+    void checkpointRestore(sim::CheckpointReader &cr);
 
   private:
     std::vector<TxnRecord> records_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "sim/trace_json.hh"
@@ -601,6 +602,37 @@ SystemBus::startRead(Request &req, std::uint64_t c)
             resp.requestTick = req.requestTick;
             responses_.push_back(std::move(resp));
         });
+}
+
+void
+SystemBus::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    csb_assert(quiescent(), "bus checkpoint requires a quiescent bus");
+    cw.putU64(addrNextFree_);
+    cw.putU64(dataNextFree_);
+    cw.putU64(nextTxnId_);
+    cw.putU64(lastGranted_);
+    cw.putU64(lastOrderedAddrCycle_.size());
+    for (std::int64_t cycle : lastOrderedAddrCycle_)
+        cw.putU64(static_cast<std::uint64_t>(cycle));
+    monitor_.checkpointSave(cw);
+}
+
+void
+SystemBus::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(quiescent(), "bus checkpoint restore into a busy bus");
+    addrNextFree_ = cr.getU64();
+    dataNextFree_ = cr.getU64();
+    nextTxnId_ = cr.getU64();
+    lastGranted_ = static_cast<std::size_t>(cr.getU64());
+    const std::uint64_t masters = cr.getU64();
+    if (masters != lastOrderedAddrCycle_.size())
+        csb_fatal("checkpoint bus has ", masters,
+                  " masters, this bus has ", lastOrderedAddrCycle_.size());
+    for (std::int64_t &cycle : lastOrderedAddrCycle_)
+        cycle = static_cast<std::int64_t>(cr.getU64());
+    monitor_.checkpointRestore(cr);
 }
 
 void

@@ -185,6 +185,16 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
 
     void debugDump(std::ostream &os) const override;
 
+    /**
+     * Serialize timing state (free cycles, txn id, arbitration
+     * pointer, per-master ordering history) and the monitor records.
+     * @pre quiescent() -- no request may be pending or in flight.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+
+    /** Restore state written by checkpointSave().  @pre quiescent() */
+    void checkpointRestore(sim::CheckpointReader &cr);
+
     // Statistics (public for the harness; gem5 naming convention says
     // stats are part of the visible interface).
     sim::stats::Scalar numWrites;

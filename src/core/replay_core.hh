@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace replay front end: drives a recorded reference stream directly
+ * into the memory system, skipping fetch/decode/issue entirely.
+ *
+ * A ReplayCore replaces the cpu::Core of one processor slice.  It owns
+ * the slice's portion of a MemTrace (see sim/trace_recorder.hh) and
+ * re-issues every record at its recorded tick and phase:
+ *
+ *  - clocked-phase records are issued from tick() at the core's
+ *    evaluation order (0), exactly where the live core issued them, so
+ *    components at negative eval order (bus, ubuf, CSB) observe them
+ *    one tick later, as in the recorded run;
+ *  - event-phase records (SWAP completion writes) are issued from an
+ *    event scheduled at the record's tick, so they land in the event
+ *    phase as recorded.
+ *
+ * Between records the core gates its clock and parks a wakeup event at
+ * the next record's tick, which lets the simulator's quiescent-system
+ * fast-forward skip the gaps -- the source of replay's speedup over
+ * core-driven execution (bench/perf_replay).
+ *
+ * Determinism contract: replaying a trace against an identically
+ * configured memory system reproduces the recorded run's memory-system
+ * state and stats tick for tick (docs/TRACE_FORMAT.md, "Replay
+ * semantics").  TLB and core-internal stats are not reproduced -- the
+ * replay core consults neither.
+ */
+
+#ifndef CSB_CORE_REPLAY_CORE_HH
+#define CSB_CORE_REPLAY_CORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "sim/clocked.hh"
+#include "sim/simulator.hh"
+#include "sim/trace_recorder.hh"
+
+namespace csb::core {
+
+/** Replays one core's recorded reference stream into its mem ports. */
+class ReplayCore : public sim::Clocked
+{
+  public:
+    /**
+     * @param simulator the owning simulation
+     * @param ports     the slice's memory-system ports (tlb unused)
+     * @param records   this core's records, in stream order
+     * @param name      instance name ("replay", "replay1", ...)
+     */
+    ReplayCore(sim::Simulator &simulator, const cpu::CoreMemPorts &ports,
+               std::vector<sim::TraceRecord> records,
+               std::string name = "replay");
+
+    /** @return true once every record has been issued. */
+    bool done() const { return next_ >= records_.size(); }
+
+    /** Records issued so far (tests / progress reporting). */
+    std::size_t issued() const { return next_; }
+
+    void tick() override;
+
+    void debugDump(std::ostream &os) const override;
+
+  private:
+    /** Issue one record into the memory system. */
+    void issue(const sim::TraceRecord &rec);
+
+    /**
+     * Park a wakeup at the next record's tick: an event-phase pump for
+     * event records, an ungating alarm for clocked records.  Gates the
+     * clock when the next record is not due this tick.
+     */
+    void scheduleNext();
+
+    /** Event-phase pump: issue due event records, then reschedule. */
+    void pump();
+
+    sim::Simulator &sim_;
+    cpu::CoreMemPorts ports_;
+    std::vector<sim::TraceRecord> records_;
+    std::size_t next_ = 0;
+    /** A wakeup event is already parked at this tick (maxTick: none). */
+    Tick wakeupAt_ = maxTick;
+};
+
+} // namespace csb::core
+
+#endif // CSB_CORE_REPLAY_CORE_HH

@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <utility>
 
+#include "sim/checkpoint.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace csb::core {
@@ -213,6 +216,13 @@ System::buildCoreSlice(unsigned cpu)
             sim_, *bus_, config_.csb, "csb" + suffix, this);
     }
 
+    // In replay mode the slice has no core at all: a ReplayCore is
+    // attached by replay() once the trace is known.  Constructing a
+    // cpu::Core here would defeat the quiescent-system fast-forward
+    // (the core never gates its clock).
+    if (config_.replayMode)
+        return;
+
     cpu::CoreMemPorts ports;
     ports.tlb = slice.tlb.get();
     ports.caches = slice.caches.get();
@@ -260,6 +270,9 @@ System::quiescent() const
 Tick
 System::run(const isa::Program &program, ProcId pid, Tick max_ticks)
 {
+    csb_assert(!config_.replayMode,
+               "a replay-mode system executes traces via replay(), "
+               "not programs via run()");
     cores_.at(0).core->loadProgram(&program, pid);
     Tick end = sim_.run(
         [this] {
@@ -275,6 +288,302 @@ System::run(const isa::Program &program, ProcId pid, Tick max_ticks)
                   " ticks (deadlock or runaway loop?)");
     }
     return end;
+}
+
+void
+System::attachTraceRecorder(sim::TraceRecorder *recorder)
+{
+    csb_assert(!config_.replayMode,
+               "recording from a replay would re-capture the input");
+    for (unsigned cpu = 0; cpu < cores_.size(); ++cpu) {
+        cores_[cpu].core->setTraceRecorder(
+            recorder, static_cast<std::uint8_t>(cpu));
+    }
+}
+
+Tick
+System::replay(const sim::MemTrace &trace, Tick max_ticks)
+{
+    csb_assert(config_.replayMode,
+               "replay() needs a system built with replayMode set");
+    if (trace.numCpus() != cores_.size())
+        csb_fatal("trace was recorded on ", trace.numCpus(),
+                  " cores, this system has ", cores_.size());
+    if (trace.lineBytes() != config_.lineBytes)
+        csb_fatal("trace was recorded with ", trace.lineBytes(),
+                  "-byte lines, this system uses ", config_.lineBytes);
+
+    for (unsigned cpu = 0; cpu < cores_.size(); ++cpu) {
+        CoreSlice &slice = cores_[cpu];
+        std::string suffix =
+            cores_.size() > 1 ? std::to_string(cpu) : std::string{};
+        cpu::CoreMemPorts ports;
+        ports.tlb = slice.tlb.get();
+        ports.caches = slice.caches.get();
+        ports.ubuf = slice.ubuf.get();
+        ports.csb = slice.csb.get();
+        ports.memory = &physMem_;
+        slice.replay = std::make_unique<ReplayCore>(
+            sim_, ports, trace.recordsForCpu(static_cast<std::uint8_t>(cpu)),
+            "replay" + suffix);
+    }
+
+    // Replay only sees memory records, so there is no per-retire
+    // progress heartbeat to feed a watchdog; disarm it and let the
+    // simulator fast-forward the gated spans between records.
+    sim_.setWatchdog(0);
+    sim_.setIdleFastForward(true);
+
+    Tick end = sim_.run(
+        [this] {
+            for (const CoreSlice &slice : cores_) {
+                if (!slice.replay->done())
+                    return false;
+            }
+            return quiescent();
+        },
+        max_ticks);
+    for (const CoreSlice &slice : cores_) {
+        if (!slice.replay->done()) {
+            csb_fatal("replay did not finish within ", max_ticks,
+                      " ticks");
+        }
+    }
+    return end;
+}
+
+void
+System::dumpMemStatsJson(std::ostream &os, int indent) const
+{
+    sim::JsonWriter jw(os, indent);
+    jw.beginObject();
+    jw.key("bus");
+    bus_->dumpJson(jw);
+    jw.key("mem");
+    mainMemory_->dumpJson(jw);
+    jw.key("dev");
+    device_->dumpJson(jw);
+    if (ni_) {
+        jw.key("ni");
+        ni_->dumpJson(jw);
+    }
+    if (injector_) {
+        jw.key("faults");
+        injector_->dumpJson(jw);
+    }
+    for (unsigned cpu = 0; cpu < cores_.size(); ++cpu) {
+        const CoreSlice &slice = cores_[cpu];
+        std::string suffix =
+            cores_.size() > 1 ? std::to_string(cpu) : std::string{};
+        jw.key("caches" + suffix);
+        slice.caches->dumpJson(jw);
+        jw.key("ubuf" + suffix);
+        slice.ubuf->dumpJson(jw);
+        if (slice.csb) {
+            jw.key("csb" + suffix);
+            slice.csb->dumpJson(jw);
+        }
+    }
+    jw.endObject();
+    os << "\n";
+}
+
+namespace {
+
+/** Scalar knobs a checkpoint is only valid across when identical. */
+std::vector<std::pair<const char *, std::uint64_t>>
+configFingerprint(const SystemConfig &c)
+{
+    return {
+        {"lineBytes", c.lineBytes},
+        {"numCores", c.numCores},
+        {"enableCsb", c.enableCsb ? 1u : 0u},
+        {"enableNi", c.enableNi ? 1u : 0u},
+        {"routeMissesOverBus", c.routeMissesOverBus ? 1u : 0u},
+        {"busKind", static_cast<std::uint64_t>(c.bus.kind)},
+        {"busWidthBytes", c.bus.widthBytes},
+        {"busRatio", c.bus.ratio},
+        {"busTurnaround", c.bus.turnaround},
+        {"busAckDelay", c.bus.ackDelay},
+        {"busErrorResponses", c.bus.errorResponses ? 1u : 0u},
+        {"ubufEntries", c.ubuf.entries},
+        {"ubufCombineBytes", c.ubuf.combineBytes},
+        {"ubufPolicy", static_cast<std::uint64_t>(c.ubuf.policy)},
+        {"csbLineBuffers", c.enableCsb ? c.csb.numLineBuffers : 0},
+        {"csbCheckAddress", c.enableCsb && c.csb.checkAddress ? 1u : 0u},
+        {"csbPartialFlush", c.enableCsb && c.csb.partialFlush ? 1u : 0u},
+        {"l1SizeBytes", c.l1.sizeBytes},
+        {"l1Assoc", c.l1.assoc},
+        {"l2SizeBytes", c.l2.sizeBytes},
+        {"l2Assoc", c.l2.assoc},
+        {"fixedMissLatency", c.fixedMissLatency},
+        {"memReadLatency", c.memReadLatency},
+        {"tlbEntries", c.tlbEntries},
+        {"tlbMissPenalty", c.tlbMissPenalty},
+        {"deviceMaxAccept", c.deviceMaxAccept},
+        {"faultsEnabled", c.faults.enabled() ? 1u : 0u},
+    };
+}
+
+} // namespace
+
+void
+System::saveCheckpoint(sim::CheckpointWriter &cw) const
+{
+    csb_assert(!config_.replayMode,
+               "checkpointing a replay-mode system is not supported");
+    csb_assert(quiescent(), "checkpoint requires a quiescent system "
+                            "(buffers, bus and devices drained)");
+    for (const CoreSlice &slice : cores_) {
+        csb_assert(slice.core->halted(),
+                   "checkpoint requires every core halted");
+    }
+
+    cw.beginSection("config");
+    auto fingerprint = configFingerprint(config_);
+    cw.putU64(fingerprint.size());
+    for (const auto &[key, value] : fingerprint) {
+        cw.putStr(key);
+        cw.putU64(value);
+    }
+
+    cw.beginSection("sim");
+    cw.putU64(sim_.curTick());
+
+    cw.beginSection("memory");
+    physMem_.checkpointSave(cw);
+
+    for (unsigned cpu = 0; cpu < cores_.size(); ++cpu) {
+        const CoreSlice &slice = cores_[cpu];
+        std::string suffix =
+            cores_.size() > 1 ? std::to_string(cpu) : std::string{};
+        cw.beginSection("cpu" + suffix);
+        slice.core->checkpointSave(cw);
+        cw.beginSection("tlb" + suffix);
+        slice.tlb->checkpointSave(cw);
+        cw.beginSection("caches" + suffix);
+        slice.caches->checkpointSave(cw);
+        if (slice.csb) {
+            cw.beginSection("csb" + suffix);
+            slice.csb->checkpointSave(cw);
+        }
+        // The uncached buffer is empty at any quiescent boundary
+        // (quiescent() requires it); it has no section.
+    }
+
+    cw.beginSection("bus");
+    bus_->checkpointSave(cw);
+
+    cw.beginSection("dev");
+    device_->checkpointSave(cw);
+
+    if (ni_) {
+        cw.beginSection("ni");
+        ni_->checkpointSave(cw);
+    }
+
+    if (injector_) {
+        cw.beginSection("faults");
+        injector_->checkpointSave(cw);
+    }
+
+    cw.beginSection("stats");
+    checkpointSaveStats(cw);
+}
+
+void
+System::saveCheckpointFile(const std::string &path) const
+{
+    sim::CheckpointWriter cw;
+    saveCheckpoint(cw);
+    cw.writeFile(path);
+}
+
+void
+System::restoreCheckpoint(sim::CheckpointReader &cr)
+{
+    csb_assert(!config_.replayMode,
+               "restoring into a replay-mode system is not supported");
+    csb_assert(sim_.curTick() == 0,
+               "checkpoint restore needs a freshly built system");
+
+    cr.openSection("config");
+    auto fingerprint = configFingerprint(config_);
+    const std::uint64_t knobs = cr.getU64();
+    if (knobs != fingerprint.size())
+        csb_fatal("checkpoint config has ", knobs, " knobs, expected ",
+                  fingerprint.size(), " -- incompatible writer");
+    for (const auto &[key, value] : fingerprint) {
+        std::string saved_key = cr.getStr();
+        std::uint64_t saved_value = cr.getU64();
+        if (saved_key != key)
+            csb_fatal("checkpoint config knob '", saved_key,
+                      "' where '", key, "' was expected");
+        if (saved_value != value)
+            csb_fatal("checkpoint was taken with ", key, "=", saved_value,
+                      ", this system has ", key, "=", value);
+    }
+    cr.closeSection();
+
+    cr.openSection("sim");
+    Tick when = cr.getU64();
+    cr.closeSection();
+    sim_.restoreTick(when);
+
+    cr.openSection("memory");
+    physMem_.checkpointRestore(cr);
+    cr.closeSection();
+
+    for (unsigned cpu = 0; cpu < cores_.size(); ++cpu) {
+        CoreSlice &slice = cores_[cpu];
+        std::string suffix =
+            cores_.size() > 1 ? std::to_string(cpu) : std::string{};
+        cr.openSection("cpu" + suffix);
+        slice.core->checkpointRestore(cr);
+        cr.closeSection();
+        cr.openSection("tlb" + suffix);
+        slice.tlb->checkpointRestore(cr);
+        cr.closeSection();
+        cr.openSection("caches" + suffix);
+        slice.caches->checkpointRestore(cr);
+        cr.closeSection();
+        if (slice.csb) {
+            cr.openSection("csb" + suffix);
+            slice.csb->checkpointRestore(cr);
+            cr.closeSection();
+        }
+    }
+
+    cr.openSection("bus");
+    bus_->checkpointRestore(cr);
+    cr.closeSection();
+
+    cr.openSection("dev");
+    device_->checkpointRestore(cr);
+    cr.closeSection();
+
+    if (ni_) {
+        cr.openSection("ni");
+        ni_->checkpointRestore(cr);
+        cr.closeSection();
+    }
+
+    if (injector_) {
+        cr.openSection("faults");
+        injector_->checkpointRestore(cr);
+        cr.closeSection();
+    }
+
+    cr.openSection("stats");
+    checkpointRestoreStats(cr);
+    cr.closeSection();
+}
+
+void
+System::restoreCheckpointFile(const std::string &path)
+{
+    sim::CheckpointReader cr = sim::CheckpointReader::loadFile(path);
+    restoreCheckpoint(cr);
 }
 
 std::uint64_t

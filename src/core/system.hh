@@ -24,8 +24,10 @@
 #include "mem/page_table.hh"
 #include "mem/physical_memory.hh"
 #include "mem/uncached_buffer.hh"
+#include "replay_core.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/trace_recorder.hh"
 #include "system_config.hh"
 
 namespace csb::core {
@@ -68,6 +70,51 @@ class System : public sim::stats::StatGroup
 
     /** @return true when all queues/buses/devices are idle. */
     bool quiescent() const;
+
+    /**
+     * Record every data reference of every core into @p recorder
+     * (cores stamp their own index); null detaches.  Recording is
+     * passive and never perturbs timing.  Execute-mode systems only.
+     */
+    void attachTraceRecorder(sim::TraceRecorder *recorder);
+
+    /**
+     * Replay @p trace (see docs/TRACE_FORMAT.md) against this system's
+     * memory hierarchy and run until every record has been issued and
+     * the system is quiescent.  Requires config().replayMode; the
+     * trace's cpu count and line size must match this configuration.
+     * @return the tick at which everything went quiescent
+     */
+    Tick replay(const sim::MemTrace &trace, Tick max_ticks = 50'000'000);
+
+    /**
+     * Serialize the memory-system stats subtree (bus, mem, dev, NI,
+     * faults, per-core caches/ubuf/csb) as a JSON document.  This is
+     * the replay determinism surface: it deliberately excludes the
+     * tlb and cpu groups, which trace replay does not reproduce.
+     */
+    void dumpMemStatsJson(std::ostream &os, int indent = 2) const;
+
+    /**
+     * Serialize the complete system state (tick, memory, arch state,
+     * caches, TLB, CSB accumulator, bus, devices, stats) to the CSBC
+     * format specified in docs/CHECKPOINT.md.  Only legal at a
+     * quiescent boundary with every core halted and drained.
+     */
+    void saveCheckpoint(sim::CheckpointWriter &cw) const;
+
+    /** saveCheckpoint() to the file at @p path. */
+    void saveCheckpointFile(const std::string &path) const;
+
+    /**
+     * Restore a checkpoint into this freshly built system.  The
+     * configuration fingerprint must match the saving system's, and
+     * nothing may have run yet (curTick == 0).
+     */
+    void restoreCheckpoint(sim::CheckpointReader &cr);
+
+    /** restoreCheckpoint() from the file at @p path. */
+    void restoreCheckpointFile(const std::string &path);
     // Statistics of every component dump via the inherited
     // StatGroup::dumpStats(std::ostream&) (text) and
     // StatGroup::dumpStatsJson(std::ostream&) (JSON); setting
@@ -117,7 +164,10 @@ class System : public sim::stats::StatGroup
         std::unique_ptr<mem::CacheHierarchy> caches;
         std::unique_ptr<mem::UncachedBuffer> ubuf;
         std::unique_ptr<mem::ConditionalStoreBuffer> csb;
+        /** Null in replay mode. */
         std::unique_ptr<cpu::Core> core;
+        /** Null outside replay mode; built lazily by replay(). */
+        std::unique_ptr<ReplayCore> replay;
         /** Bus master for cache-miss line fetches (optional). */
         MasterId missMaster = 0;
     };

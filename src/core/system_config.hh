@@ -87,6 +87,14 @@ struct SystemConfig
      */
     Tick watchdogTicks = 0;
 
+    /**
+     * Build the system for trace replay: every processor slice gets a
+     * ReplayCore instead of an out-of-order cpu::Core (and no TLB
+     * lookups happen -- recorded penalties are replayed instead).
+     * Drive such a system with System::replay(), not System::run().
+     */
+    bool replayMode = false;
+
     /** Propagate lineBytes; validate everything. */
     void normalize();
 };

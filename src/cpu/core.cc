@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "sim/trace.hh"
 
 namespace csb::cpu {
@@ -79,6 +80,71 @@ Core::loadProgram(const isa::Program *program, ProcId pid)
     fetchStallSeq_ = 0;
     switchPending_ = false;
     ++epoch_;
+}
+
+void
+Core::recordRef(sim::TraceOp op, Addr addr, unsigned size,
+                std::uint64_t value, mem::PageAttr attr,
+                std::uint8_t flags)
+{
+    if (!traceRec_)
+        return;
+    sim::TraceRecord rec;
+    rec.tick = sim_.curTick();
+    rec.addr = addr;
+    rec.value = value;
+    rec.pid = arch_.pid;
+    rec.op = op;
+    rec.cpu = traceCpu_;
+    rec.size = std::uint8_t(size);
+    rec.flags = std::uint8_t(
+        flags | (std::uint8_t(attr) << sim::TraceFlagAttrShift));
+    traceRec_->append(rec);
+}
+
+void
+Core::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    csb_assert(window_.empty(),
+               "core checkpoint requires a drained pipeline");
+    for (std::uint64_t reg : arch_.intRegs)
+        cw.putU64(reg);
+    for (std::uint64_t reg : arch_.fpRegs)
+        cw.putU64(reg);
+    cw.putU64(arch_.pc);
+    cw.putU32(arch_.pid);
+    cw.putU8(arch_.halted ? 1 : 0);
+    cw.putU64(marks_.size());
+    for (const MarkRecord &mark : marks_) {
+        cw.putU64(std::uint64_t(mark.first));
+        cw.putU64(mark.second);
+    }
+    cw.putU64(nextSeq_);
+    cw.putU64(epoch_);
+}
+
+void
+Core::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(window_.empty() && program_ == nullptr,
+               "core checkpoint restore requires a fresh core");
+    for (std::uint64_t &reg : arch_.intRegs)
+        reg = cr.getU64();
+    for (std::uint64_t &reg : arch_.fpRegs)
+        reg = cr.getU64();
+    arch_.pc = cr.getU64();
+    arch_.pid = ProcId(cr.getU32());
+    arch_.halted = cr.getU8() != 0;
+    spec_ = arch_;
+    marks_.clear();
+    const std::uint64_t num_marks = cr.getU64();
+    for (std::uint64_t i = 0; i < num_marks; ++i) {
+        auto id = std::int64_t(cr.getU64());
+        Tick when = cr.getU64();
+        marks_.emplace_back(id, when);
+    }
+    nextSeq_ = cr.getU64();
+    epoch_ = cr.getU64();
 }
 
 Tick
@@ -472,6 +538,8 @@ Core::issueStage()
                 } else {
                     --mem_free;
                     di.state = State::Issued;
+                    recordRef(sim::TraceOp::CachedLoad, addr, size,
+                              tlb_penalty, attr);
                     ports_.caches->access(
                         addr, /*is_write=*/false, now + tlb_penalty,
                         [this, seq, epoch](Tick) {
@@ -522,6 +590,9 @@ Core::startHeadSwap(DynInst &head)
 
     if (head.attr == mem::PageAttr::Cached) {
         head.headOpStarted = true;
+        recordRef(sim::TraceOp::CachedSwapStart, head.effAddr,
+                  head.size, head.src2Val, head.attr,
+                  sim::TraceFlagSwap);
         ports_.caches->access(
             head.effAddr, /*is_write=*/true, now,
             [this, seq, epoch](Tick) {
@@ -533,6 +604,9 @@ Core::startHeadSwap(DynInst &head)
                 // Atomic read-modify-write.
                 std::uint64_t old = 0;
                 ports_.memory->read(p->effAddr, &old, p->size);
+                recordRef(sim::TraceOp::SwapMemWrite, p->effAddr,
+                          p->size, p->src2Val, p->attr,
+                          sim::TraceFlagSwap | sim::TraceFlagEventPhase);
                 ports_.memory->write(p->effAddr, &p->src2Val, p->size);
                 finishInst(*p, old);
             });
@@ -544,6 +618,8 @@ Core::startHeadSwap(DynInst &head)
         // expected hit count; success leaves it unchanged, failure
         // returns zero.
         head.headOpStarted = true;
+        recordRef(sim::TraceOp::CsbFlush, head.effAddr, head.size,
+                  head.src2Val, head.attr, sim::TraceFlagSwap);
         bool ok = ports_.csb->conditionalFlush(arch_.pid, head.effAddr,
                                                head.src2Val);
         std::uint64_t result = ok ? head.src2Val : 0;
@@ -563,6 +639,8 @@ Core::startHeadSwap(DynInst &head)
     if (!ports_.ubuf->canAcceptLoad())
         return; // retry next cycle
     head.headOpStarted = true;
+    recordRef(sim::TraceOp::UncachedLoad, head.effAddr, head.size, 0,
+              head.attr, sim::TraceFlagSwap);
     ports_.ubuf->pushLoad(
         head.effAddr, head.size,
         [this, seq, epoch](Tick, const std::vector<std::uint8_t> &data) {
@@ -576,6 +654,9 @@ Core::startHeadSwap(DynInst &head)
                         std::min<std::size_t>(data.size(), 8));
             csb_assert(ports_.ubuf->canAcceptStore(p->effAddr, p->size),
                        "uncached buffer full during atomic swap");
+            recordRef(sim::TraceOp::UncachedStore, p->effAddr, p->size,
+                      p->src2Val, p->attr,
+                      sim::TraceFlagSwap | sim::TraceFlagEventPhase);
             ports_.ubuf->pushStore(p->effAddr, p->size, &p->src2Val);
             finishInst(*p, old);
         });
@@ -589,6 +670,8 @@ Core::startHeadUncachedLoad(DynInst &head)
     std::uint64_t seq = head.seq;
     std::uint64_t epoch = epoch_;
     head.headOpStarted = true;
+    recordRef(sim::TraceOp::UncachedLoad, head.effAddr, head.size, 0,
+              head.attr);
     ports_.ubuf->pushLoad(
         head.effAddr, head.size,
         [this, seq, epoch](Tick, const std::vector<std::uint8_t> &data) {
@@ -608,6 +691,8 @@ bool
 Core::commitStore(DynInst &head, unsigned &uncached_retired)
 {
     if (head.attr == mem::PageAttr::Cached) {
+        recordRef(sim::TraceOp::CachedStore, head.effAddr, head.size,
+                  head.src2Val, head.attr);
         ports_.memory->write(head.effAddr, &head.src2Val, head.size);
         // Tag update only; store latency is absorbed by write buffers.
         ports_.caches->accessLatency(head.effAddr, /*is_write=*/true);
@@ -627,6 +712,8 @@ Core::commitStore(DynInst &head, unsigned &uncached_retired)
             ++uncachedStallRun_;
             return false;
         }
+        recordRef(sim::TraceOp::CsbStore, head.effAddr, head.size,
+                  head.src2Val, head.attr);
         ports_.csb->store(arch_.pid, head.effAddr, head.size,
                           &head.src2Val);
         ++uncached_retired;
@@ -640,6 +727,8 @@ Core::commitStore(DynInst &head, unsigned &uncached_retired)
         ++uncachedStallRun_;
         return false;
     }
+    recordRef(sim::TraceOp::UncachedStore, head.effAddr, head.size,
+              head.src2Val, head.attr);
     ports_.ubuf->pushStore(head.effAddr, head.size, &head.src2Val);
     ++uncached_retired;
     uncachedStallRuns.sample(uncachedStallRun_);
@@ -664,6 +753,7 @@ Core::commitHead(unsigned &uncached_retired)
             membarStallCycles += 1;
             return false;
         }
+        recordRef(sim::TraceOp::Membar, 0, 0, 0, mem::PageAttr::Cached);
         break;
 
       case InstClass::Store:

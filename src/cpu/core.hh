@@ -46,6 +46,7 @@
 #include "sim/clocked.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/trace_recorder.hh"
 
 namespace csb::cpu {
 
@@ -125,9 +126,34 @@ class Core : public sim::Clocked, public sim::stats::StatGroup
     /** @return true when a requested switch has not happened yet. */
     bool switchPending() const { return switchPending_; }
 
+    /**
+     * Record every data reference this core issues to the memory
+     * system into @p recorder, stamped as core @p cpu_index (see
+     * docs/TRACE_FORMAT.md for the record catalogue).  Null detaches.
+     * Recording is passive: it never changes timing or behaviour.
+     */
+    void
+    setTraceRecorder(sim::TraceRecorder *recorder,
+                     std::uint8_t cpu_index = 0)
+    {
+        traceRec_ = recorder;
+        traceCpu_ = cpu_index;
+    }
+
     void tick() override;
 
     const CoreParams &params() const { return params_; }
+
+    /**
+     * Serialize the committed context (registers, pc, pid, marks,
+     * sequence counters) at a quiescent boundary: the pipeline must
+     * be drained (halted with an empty window).  Stats travel in the
+     * owning System's stats section, not here.  See docs/CHECKPOINT.md.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+
+    /** Restore the context written by checkpointSave(). */
+    void checkpointRestore(sim::CheckpointReader &cr);
 
     // Statistics.
     sim::stats::Scalar numCycles;
@@ -206,6 +232,11 @@ class Core : public sim::Clocked, public sim::stats::StatGroup
 
     bool operandsReady(const DynInst &inst) const;
 
+    /** Append one reference to the attached trace recorder, if any. */
+    void recordRef(sim::TraceOp op, Addr addr, unsigned size,
+                   std::uint64_t value, mem::PageAttr attr,
+                   std::uint8_t flags = 0);
+
     /** True when an older store blocks this load (unknown/overlap). */
     bool loadBlockedByStore(const DynInst &load, std::uint64_t &fwd_val,
                             bool &can_forward) const;
@@ -244,6 +275,10 @@ class Core : public sim::Clocked, public sim::stats::StatGroup
     std::function<void(const ArchState &)> onSwitched_;
     /** Bumped on every squash; stale callbacks check it. */
     std::uint64_t epoch_ = 0;
+
+    /** Optional trace capture sink (not owned); null when detached. */
+    sim::TraceRecorder *traceRec_ = nullptr;
+    std::uint8_t traceCpu_ = 0;
 
     static std::uint32_t regKey(const isa::RegId &reg);
 };

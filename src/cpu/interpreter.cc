@@ -5,6 +5,30 @@ namespace csb::cpu {
 using isa::InstClass;
 using isa::Opcode;
 
+namespace {
+
+/** Append one interpreter-sourced reference record. */
+void
+recordStep(sim::TraceRecorder *rec, std::uint8_t cpu, Tick step,
+           ProcId pid, sim::TraceOp op, Addr addr, unsigned size,
+           std::uint64_t value, std::uint8_t extra_flags = 0)
+{
+    if (!rec)
+        return;
+    sim::TraceRecord r;
+    r.tick = step;
+    r.addr = addr;
+    r.value = value;
+    r.pid = pid;
+    r.op = op;
+    r.cpu = cpu;
+    r.size = std::uint8_t(size);
+    r.flags = std::uint8_t(sim::TraceFlagInterpreter | extra_flags);
+    rec->append(r);
+}
+
+} // namespace
+
 ArchState
 Interpreter::run(std::uint64_t max_steps)
 {
@@ -44,6 +68,9 @@ Interpreter::run(std::uint64_t max_steps)
             csb_assert(addr % size == 0, "interpreter: misaligned load");
             std::uint64_t bits = 0;
             memory_.read(addr, &bits, size);
+            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                       state.pid, sim::TraceOp::CachedLoad, addr, size,
+                       bits);
             state.writeReg(inst.rd, bits);
             break;
           }
@@ -53,6 +80,9 @@ Interpreter::run(std::uint64_t max_steps)
             unsigned size = isa::accessSize(inst.op);
             csb_assert(addr % size == 0, "interpreter: misaligned store");
             std::uint64_t bits = state.readReg(inst.rs2);
+            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                       state.pid, sim::TraceOp::CachedStore, addr, size,
+                       bits);
             memory_.write(addr, &bits, size);
             break;
           }
@@ -64,12 +94,17 @@ Interpreter::run(std::uint64_t max_steps)
             std::uint64_t old = 0;
             memory_.read(addr, &old, size);
             std::uint64_t nv = state.readReg(inst.rd);
+            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                       state.pid, sim::TraceOp::SwapMemWrite, addr,
+                       size, nv, sim::TraceFlagSwap);
             memory_.write(addr, &nv, size);
             state.writeReg(inst.rd, old);
             break;
           }
           case InstClass::Membar:
             // Sequential execution is already strongly ordered.
+            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                       state.pid, sim::TraceOp::Membar, 0, 0, 0);
             break;
           case InstClass::Branch: {
             bool taken = evalBranch(inst.op, state.readReg(inst.rs1),

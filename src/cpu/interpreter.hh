@@ -18,6 +18,7 @@
 #include "arch_state.hh"
 #include "isa/program.hh"
 #include "mem/physical_memory.hh"
+#include "sim/trace_recorder.hh"
 
 namespace csb::cpu {
 
@@ -44,11 +45,28 @@ class Interpreter
     /** Instructions executed by the last run(). */
     std::uint64_t instsExecuted() const { return instsExecuted_; }
 
+    /**
+     * Record every memory reference into @p recorder as core
+     * @p cpu_index, flagged TraceFlagInterpreter with the instruction
+     * step index as the tick (the interpreter has no clock).  Such
+     * traces document the sequential reference stream; they are not
+     * replayable cycle-accurately (docs/TRACE_FORMAT.md).
+     */
+    void
+    setTraceRecorder(sim::TraceRecorder *recorder,
+                     std::uint8_t cpu_index = 0)
+    {
+        traceRec_ = recorder;
+        traceCpu_ = cpu_index;
+    }
+
   private:
     const isa::Program &program_;
     mem::PhysicalMemory &memory_;
     std::vector<std::int64_t> marks_;
     std::uint64_t instsExecuted_ = 0;
+    sim::TraceRecorder *traceRec_ = nullptr;
+    std::uint8_t traceCpu_ = 0;
 };
 
 } // namespace csb::cpu

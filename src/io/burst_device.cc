@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -67,6 +68,51 @@ BurstDevice::setRegister(Addr addr, std::uint64_t value)
         }
     }
     registers_.emplace_back(addr, value);
+}
+
+void
+BurstDevice::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    cw.putU64(writeLog_.size());
+    for (const DeviceWrite &rec : writeLog_) {
+        cw.putU64(rec.addr);
+        cw.putU64(rec.data.size());
+        if (!rec.data.empty())
+            cw.putBytes(rec.data.data(), rec.data.size());
+        cw.putU64(rec.completionTick);
+    }
+    cw.putU64(registers_.size());
+    for (const auto &[addr, value] : registers_) {
+        cw.putU64(addr);
+        cw.putU64(value);
+    }
+}
+
+void
+BurstDevice::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(writeLog_.empty(),
+               "device checkpoint restore into a used device");
+    const std::uint64_t writes = cr.getU64();
+    writeLog_.reserve(writes);
+    for (std::uint64_t i = 0; i < writes; ++i) {
+        DeviceWrite rec;
+        rec.addr = cr.getU64();
+        const std::uint64_t bytes = cr.getU64();
+        if (bytes > 0) {
+            rec.data = cr.getBytes();
+            csb_assert(rec.data.size() == bytes, "device write payload");
+        }
+        rec.completionTick = cr.getU64();
+        writeLog_.push_back(std::move(rec));
+    }
+    registers_.clear();
+    const std::uint64_t regs = cr.getU64();
+    for (std::uint64_t i = 0; i < regs; ++i) {
+        Addr addr = cr.getU64();
+        std::uint64_t value = cr.getU64();
+        registers_.emplace_back(addr, value);
+    }
 }
 
 } // namespace csb::io

@@ -55,6 +55,14 @@ class BurstDevice : public bus::BusTarget, public sim::stats::StatGroup
     /** Set the value returned by register reads at @p addr. */
     void setRegister(Addr addr, std::uint64_t value);
 
+    /**
+     * Serialize the write log and register file so device-side
+     * measurements spanning a checkpoint boundary match an
+     * uninterrupted run.  Restore requires an empty write log.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+    void checkpointRestore(sim::CheckpointReader &cr);
+
     sim::stats::Scalar writesReceived;
     sim::stats::Scalar bytesReceived;
     sim::stats::Scalar readsServed;

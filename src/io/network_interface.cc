@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -416,6 +417,63 @@ NetworkInterface::idle() const
 {
     return dmaQueue_.empty() && dmaRetries_.empty() &&
            messagesInWire_ == 0 && unacked_.empty();
+}
+
+void
+NetworkInterface::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    csb_assert(idle(), "NI checkpoint requires an idle NI");
+    cw.putU64(pioBuffer_.size());
+    if (!pioBuffer_.empty())
+        cw.putBytes(pioBuffer_.data(), pioBuffer_.size());
+    cw.putU64(wireFreeAt_);
+    cw.putU64(nextSeq_);
+    cw.putU64(delivered_.size());
+    for (const DeliveredMessage &msg : delivered_) {
+        cw.putU64(msg.payload.size());
+        if (!msg.payload.empty())
+            cw.putBytes(msg.payload.data(), msg.payload.size());
+        cw.putU64(msg.sendTick);
+        cw.putU64(msg.deliverTick);
+        cw.putU8(msg.viaDma ? 1 : 0);
+        cw.putU64(msg.seq);
+    }
+    cw.putU64(deliveredSeqs_.size());
+    for (std::uint64_t seq : deliveredSeqs_)
+        cw.putU64(seq);
+}
+
+void
+NetworkInterface::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(idle() && pioBuffer_.empty() && delivered_.empty(),
+               "NI checkpoint restore into a used NI");
+    const std::uint64_t pio_bytes = cr.getU64();
+    if (pio_bytes > 0) {
+        pioBuffer_ = cr.getBytes();
+        csb_assert(pioBuffer_.size() == pio_bytes, "NI PIO payload size");
+    }
+    wireFreeAt_ = cr.getU64();
+    nextSeq_ = cr.getU64();
+    const std::uint64_t delivered = cr.getU64();
+    delivered_.reserve(delivered);
+    for (std::uint64_t i = 0; i < delivered; ++i) {
+        DeliveredMessage msg;
+        const std::uint64_t payload_bytes = cr.getU64();
+        if (payload_bytes > 0) {
+            msg.payload = cr.getBytes();
+            csb_assert(msg.payload.size() == payload_bytes,
+                       "NI message payload size");
+        }
+        msg.sendTick = cr.getU64();
+        msg.deliverTick = cr.getU64();
+        msg.viaDma = cr.getU8() != 0;
+        msg.seq = cr.getU64();
+        delivered_.push_back(std::move(msg));
+    }
+    const std::uint64_t seqs = cr.getU64();
+    for (std::uint64_t i = 0; i < seqs; ++i)
+        deliveredSeqs_.insert(cr.getU64());
 }
 
 void

@@ -159,6 +159,17 @@ class NetworkInterface : public bus::BusTarget,
 
     void debugDump(std::ostream &os) const override;
 
+    /**
+     * Serialize the PIO accumulation buffer, wire availability, the
+     * delivered-message log and the reliable-protocol sequence state.
+     * @pre idle() -- no DMA or wire activity may be pending, though a
+     * partially written PIO message is allowed.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+
+    /** Restore state written by checkpointSave().  @pre idle() */
+    void checkpointRestore(sim::CheckpointReader &cr);
+
     sim::stats::Scalar pioMessages;
     sim::stats::Scalar dmaMessages;
     sim::stats::Scalar bytesSent;

@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace csb::mem {
@@ -113,6 +114,36 @@ Cache::flushAll()
         line.valid = false;
 }
 
+void
+Cache::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    cw.putU64(useClock_);
+    cw.putU64(lines_.size());
+    for (const Line &line : lines_) {
+        cw.putU64(line.tag);
+        cw.putU8(line.valid ? 1 : 0);
+        cw.putU8(line.dirty ? 1 : 0);
+        cw.putU64(line.lastUse);
+    }
+}
+
+void
+Cache::checkpointRestore(sim::CheckpointReader &cr)
+{
+    useClock_ = cr.getU64();
+    const std::uint64_t count = cr.getU64();
+    if (count != lines_.size())
+        csb_fatal("checkpoint cache '", statName(), "' has ", count,
+                  " lines, this cache has ", lines_.size(),
+                  " -- geometry mismatch");
+    for (Line &line : lines_) {
+        line.tag = cr.getU64();
+        line.valid = cr.getU8() != 0;
+        line.dirty = cr.getU8() != 0;
+        line.lastUse = cr.getU64();
+    }
+}
+
 CacheHierarchy::CacheHierarchy(const CacheParams &l1, const CacheParams &l2,
                                Tick mem_latency, std::string name,
                                sim::stats::StatGroup *stat_parent)
@@ -180,6 +211,20 @@ CacheHierarchy::access(Addr addr, bool is_write, Tick now,
         Tick t = now + latency + memLatency_;
         deferredCall(t, [done, t] { done(t); });
     }
+}
+
+void
+CacheHierarchy::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    l1_.checkpointSave(cw);
+    l2_.checkpointSave(cw);
+}
+
+void
+CacheHierarchy::checkpointRestore(sim::CheckpointReader &cr)
+{
+    l1_.checkpointRestore(cr);
+    l2_.checkpointRestore(cr);
 }
 
 void

@@ -22,6 +22,11 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace csb::sim {
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace csb::sim
+
 namespace csb::mem {
 
 /** Geometry and timing of one cache level. */
@@ -71,6 +76,13 @@ class Cache : public sim::stats::StatGroup
     void flushAll();
 
     const CacheParams &params() const { return params_; }
+
+    /**
+     * Serialize tag/valid/dirty/LRU state (not stats -- those travel
+     * with the stats tree).  Restore verifies identical geometry.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+    void checkpointRestore(sim::CheckpointReader &cr);
 
     sim::stats::Scalar hits;
     sim::stats::Scalar misses;
@@ -151,6 +163,10 @@ class CacheHierarchy : public sim::stats::StatGroup
     Cache &l1() { return l1_; }
     Cache &l2() { return l2_; }
     Tick memLatency() const { return memLatency_; }
+
+    /** Serialize both levels (see Cache::checkpointSave). */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+    void checkpointRestore(sim::CheckpointReader &cr);
 
   private:
     Cache l1_;

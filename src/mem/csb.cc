@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "sim/trace_json.hh"
@@ -293,6 +294,52 @@ ConditionalStoreBuffer::issueWrite(Addr addr,
     csb_assert(accepted, "bus refused CSB request despite idle master");
     presentPending_ = true;
     ++inflight_;
+}
+
+void
+ConditionalStoreBuffer::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    csb_assert(drained(), "CSB checkpoint requires drained() -- flushed "
+                          "lines must have completed on the bus");
+    cw.putU64(lineAddr_);
+    cw.putU32(pid_);
+    cw.putU64(hitCounter_);
+    cw.putU64(accumStartTick_);
+    cw.putU32(params_.lineBytes);
+    cw.putBytes(data_.data(), params_.lineBytes);
+    // Valid mask, 64 bits per word, low word first.
+    for (unsigned word = 0; word < maxBlockBytes / 64; ++word) {
+        std::uint64_t bits = 0;
+        for (unsigned bit = 0; bit < 64; ++bit)
+            if (valid_.test(word * 64 + bit))
+                bits |= std::uint64_t(1) << bit;
+        cw.putU64(bits);
+    }
+}
+
+void
+ConditionalStoreBuffer::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(drained(), "CSB checkpoint restore into a busy CSB");
+    lineAddr_ = cr.getU64();
+    pid_ = static_cast<ProcId>(cr.getU32());
+    hitCounter_ = cr.getU64();
+    accumStartTick_ = cr.getU64();
+    const std::uint32_t line_bytes = cr.getU32();
+    if (line_bytes != params_.lineBytes)
+        csb_fatal("checkpoint CSB line is ", line_bytes,
+                  " bytes, this CSB uses ", params_.lineBytes);
+    std::vector<std::uint8_t> bytes = cr.getBytes();
+    csb_assert(bytes.size() == line_bytes, "CSB line payload size");
+    data_.fill(0);
+    std::memcpy(data_.data(), bytes.data(), bytes.size());
+    valid_.reset();
+    for (unsigned word = 0; word < maxBlockBytes / 64; ++word) {
+        std::uint64_t bits = cr.getU64();
+        for (unsigned bit = 0; bit < 64; ++bit)
+            if (bits & (std::uint64_t(1) << bit))
+                valid_.set(word * 64 + bit);
+    }
 }
 
 void

@@ -139,6 +139,17 @@ class ConditionalStoreBuffer : public sim::Clocked,
 
     void debugDump(std::ostream &os) const override;
 
+    /**
+     * Serialize the accumulating line register (data, valid mask, line
+     * address, pid, hit counter).  @pre drained() -- the outbox, retry
+     * queue and in-flight counters are empty at a checkpoint boundary,
+     * but the accumulator may legitimately hold an unflushed line.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+
+    /** Restore the accumulator written by checkpointSave(). */
+    void checkpointRestore(sim::CheckpointReader &cr);
+
     const CsbParams &params() const { return params_; }
 
     sim::stats::Scalar storesAccepted;

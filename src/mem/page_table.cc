@@ -1,5 +1,6 @@
 #include "page_table.hh"
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace csb::mem {
@@ -84,6 +85,37 @@ Tlb::flush()
 {
     for (Entry &entry : entries_)
         entry.valid = false;
+}
+
+void
+Tlb::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    cw.putU64(useClock_);
+    cw.putU64(entries_.size());
+    for (const Entry &entry : entries_) {
+        cw.putU64(entry.vpn);
+        cw.putU32(entry.asid);
+        cw.putU8(static_cast<std::uint8_t>(entry.attr));
+        cw.putU64(entry.lastUse);
+        cw.putU8(entry.valid ? 1 : 0);
+    }
+}
+
+void
+Tlb::checkpointRestore(sim::CheckpointReader &cr)
+{
+    useClock_ = cr.getU64();
+    const std::uint64_t count = cr.getU64();
+    if (count != entries_.size())
+        csb_fatal("checkpoint TLB has ", count, " entries, this TLB has ",
+                  entries_.size());
+    for (Entry &entry : entries_) {
+        entry.vpn = cr.getU64();
+        entry.asid = static_cast<ProcId>(cr.getU32());
+        entry.attr = static_cast<PageAttr>(cr.getU8());
+        entry.lastUse = cr.getU64();
+        entry.valid = cr.getU8() != 0;
+    }
 }
 
 } // namespace csb::mem

@@ -21,6 +21,11 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace csb::sim {
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace csb::sim
+
 namespace csb::mem {
 
 /** Memory attribute of a page (TLB-resident, per section 3.1). */
@@ -90,6 +95,13 @@ class Tlb : public sim::stats::StatGroup
 
     /** Drop all entries (e.g. after a page-table change). */
     void flush();
+
+    /**
+     * Serialize entry array + LRU clock (not stats; not the page
+     * table, which is configuration).  Restore verifies entry count.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+    void checkpointRestore(sim::CheckpointReader &cr);
 
     sim::stats::Scalar hits;
     sim::stats::Scalar misses;

@@ -1,7 +1,9 @@
 #include "physical_memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace csb::mem {
@@ -55,6 +57,39 @@ PhysicalMemory::write(Addr addr, const void *buffer, std::size_t size)
         in += chunk;
         addr += chunk;
         size -= chunk;
+    }
+}
+
+void
+PhysicalMemory::checkpointSave(sim::CheckpointWriter &cw) const
+{
+    std::vector<Addr> bases;
+    bases.reserve(frames_.size());
+    for (const auto &[base, frame] : frames_)
+        bases.push_back(base);
+    std::sort(bases.begin(), bases.end());
+
+    cw.putU64(bases.size());
+    for (Addr base : bases) {
+        cw.putU64(base);
+        cw.putBytes(frames_.at(base)->data(), frameSize);
+    }
+}
+
+void
+PhysicalMemory::checkpointRestore(sim::CheckpointReader &cr)
+{
+    csb_assert(frames_.empty(),
+               "memory checkpoint restore requires empty memory");
+    const std::uint64_t count = cr.getU64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr base = cr.getU64();
+        std::vector<std::uint8_t> bytes = cr.getBytes();
+        if (bytes.size() != frameSize)
+            csb_fatal("checkpoint memory frame at 0x", std::hex, base,
+                      std::dec, " has ", bytes.size(), " bytes, want ",
+                      frameSize);
+        write(base, bytes.data(), bytes.size());
     }
 }
 

@@ -16,6 +16,11 @@
 
 #include "sim/types.hh"
 
+namespace csb::sim {
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace csb::sim
+
 namespace csb::mem {
 
 /** Byte-addressable sparse memory, allocated in 4 KiB frames. */
@@ -54,6 +59,16 @@ class PhysicalMemory
 
     /** Number of frames currently allocated (for tests). */
     std::size_t framesAllocated() const { return frames_.size(); }
+
+    /**
+     * Serialize every allocated frame, sorted by frame address so the
+     * byte stream is independent of allocation order (the hash map
+     * iterates in an unspecified order).  See docs/CHECKPOINT.md.
+     */
+    void checkpointSave(sim::CheckpointWriter &cw) const;
+
+    /** Restore frames written by checkpointSave() into empty memory. */
+    void checkpointRestore(sim::CheckpointReader &cr);
 
   private:
     using Frame = std::array<std::uint8_t, frameSize>;

@@ -1,5 +1,6 @@
 #include "fault.hh"
 
+#include "checkpoint.hh"
 #include "logging.hh"
 
 namespace csb::sim {
@@ -121,6 +122,26 @@ FaultInjector::shouldFault(FaultSite site)
     if (fault)
         ++counterFor(site);
     return fault;
+}
+
+void
+FaultInjector::checkpointSave(CheckpointWriter &cw) const
+{
+    for (const Random &stream : streams_) {
+        for (std::uint64_t word : stream.rawState())
+            cw.putU64(word);
+    }
+}
+
+void
+FaultInjector::checkpointRestore(CheckpointReader &cr)
+{
+    for (Random &stream : streams_) {
+        std::array<std::uint64_t, 4> state;
+        for (std::uint64_t &word : state)
+            word = cr.getU64();
+        stream.setRawState(state);
+    }
 }
 
 } // namespace csb::sim

@@ -100,6 +100,16 @@ class FaultInjector : public stats::StatGroup
 
     const FaultPlan &plan() const { return plan_; }
 
+    /**
+     * Serialize the per-site RNG streams (the counters travel with
+     * the stats tree).  Restoring resumes every site's draw sequence
+     * exactly where the checkpointed run left it.
+     */
+    void checkpointSave(CheckpointWriter &cw) const;
+
+    /** Restore the streams written by checkpointSave(). */
+    void checkpointRestore(CheckpointReader &cr);
+
     // One injection counter per site (also visible in the JSON stats
     // tree under this group).
     stats::Scalar busWriteNacks;

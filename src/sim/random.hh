@@ -10,6 +10,7 @@
 #ifndef CSB_SIM_RANDOM_HH
 #define CSB_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 #include "logging.hh"
@@ -65,6 +66,24 @@ class Random
 
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform01() < p; }
+
+    /**
+     * Raw generator state, for checkpointing (docs/CHECKPOINT.md).
+     * Restoring the four words resumes the exact draw sequence.
+     */
+    std::array<std::uint64_t, 4>
+    rawState() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore state captured by rawState(). */
+    void
+    setRawState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = state[i];
+    }
 
   private:
     static std::uint64_t

@@ -101,6 +101,21 @@ class Simulator
      */
     std::uint64_t tickLimitHits() const { return tickLimitHits_; }
 
+    /**
+     * Jump simulated time to @p when as part of checkpoint restore
+     * (docs/CHECKPOINT.md): only legal while the event queue is empty,
+     * i.e. on a freshly built system before anything is scheduled.
+     * Counts as forward progress for the watchdog.
+     */
+    void
+    restoreTick(Tick when)
+    {
+        csb_assert(events_.empty(),
+                   "restoreTick with events pending");
+        events_.advanceTo(when);
+        lastProgressTick_ = when;
+    }
+
   private:
     friend class Clocked;
 

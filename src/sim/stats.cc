@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "checkpoint.hh"
 #include "json.hh"
 
 namespace csb::sim::stats {
@@ -267,6 +268,103 @@ StatGroup::findStat(const std::string &name) const
             return stat;
     }
     return nullptr;
+}
+
+void
+Scalar::checkpointSave(CheckpointWriter &cw) const
+{
+    cw.putF64(value_);
+}
+
+void
+Scalar::checkpointRestore(CheckpointReader &cr)
+{
+    value_ = cr.getF64();
+}
+
+void
+Average::checkpointSave(CheckpointWriter &cw) const
+{
+    cw.putF64(sum_);
+    cw.putU64(count_);
+}
+
+void
+Average::checkpointRestore(CheckpointReader &cr)
+{
+    sum_ = cr.getF64();
+    count_ = cr.getU64();
+}
+
+void
+Distribution::checkpointSave(CheckpointWriter &cw) const
+{
+    cw.putU64(buckets_.size());
+    for (std::uint64_t bucket : buckets_)
+        cw.putU64(bucket);
+    cw.putU64(underflow_);
+    cw.putU64(overflow_);
+    cw.putU64(samples_);
+    cw.putF64(sum_);
+    cw.putF64(minSampled_);
+    cw.putF64(maxSampled_);
+}
+
+void
+Distribution::checkpointRestore(CheckpointReader &cr)
+{
+    const std::uint64_t n = cr.getU64();
+    if (n != buckets_.size())
+        csb_fatal("checkpoint distribution '", name(), "' has ", n,
+                  " buckets, this configuration has ", buckets_.size());
+    for (std::uint64_t &bucket : buckets_)
+        bucket = cr.getU64();
+    underflow_ = cr.getU64();
+    overflow_ = cr.getU64();
+    samples_ = cr.getU64();
+    sum_ = cr.getF64();
+    minSampled_ = cr.getF64();
+    maxSampled_ = cr.getF64();
+}
+
+void
+StatGroup::checkpointSaveStats(CheckpointWriter &cw) const
+{
+    for (const StatBase *stat : stats_) {
+        cw.putStr(stat->name());
+        cw.putU8(stat->checkpointTag());
+        stat->checkpointSave(cw);
+    }
+    for (const StatGroup *child : children_) {
+        cw.putStr(child->statName());
+        child->checkpointSaveStats(cw);
+    }
+}
+
+void
+StatGroup::checkpointRestoreStats(CheckpointReader &cr)
+{
+    for (StatBase *stat : stats_) {
+        const std::string name = cr.getStr();
+        if (name != stat->name())
+            csb_fatal("checkpoint stat mismatch in group '",
+                      fullStatName(), "': expected '", stat->name(),
+                      "', found '", name, "'");
+        const std::uint8_t tag = cr.getU8();
+        if (tag != stat->checkpointTag())
+            csb_fatal("checkpoint stat '", name, "' has type tag ",
+                      unsigned(tag), ", this build expects ",
+                      unsigned(stat->checkpointTag()));
+        stat->checkpointRestore(cr);
+    }
+    for (StatGroup *child : children_) {
+        const std::string name = cr.getStr();
+        if (name != child->statName())
+            csb_fatal("checkpoint group mismatch in '", fullStatName(),
+                      "': expected '", child->statName(), "', found '",
+                      name, "'");
+        child->checkpointRestoreStats(cr);
+    }
 }
 
 } // namespace csb::sim::stats

@@ -22,6 +22,8 @@
 
 namespace csb::sim {
 class JsonWriter;
+class CheckpointWriter;
+class CheckpointReader;
 } // namespace csb::sim
 
 namespace csb::sim::stats {
@@ -53,6 +55,21 @@ class StatBase
     /** Reset to the initial state. */
     virtual void reset() = 0;
 
+    /**
+     * Append this stat's mutable state to the open checkpoint section
+     * (docs/CHECKPOINT.md).  Formula writes nothing -- it is derived.
+     * The tree walk (StatGroup::checkpointSaveStats) prefixes each
+     * stat with its name and checkpointTag(), so restore verifies it
+     * is consuming the stat it expects before touching any state.
+     */
+    virtual void checkpointSave(CheckpointWriter &cw) const = 0;
+
+    /** Restore the state written by checkpointSave(). */
+    virtual void checkpointRestore(CheckpointReader &cr) = 0;
+
+    /** One-byte CSBC type tag identifying the concrete stat type. */
+    virtual std::uint8_t checkpointTag() const = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -75,6 +92,10 @@ class Scalar : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(JsonWriter &jw) const override;
     void reset() override { value_ = 0; }
+
+    void checkpointSave(CheckpointWriter &cw) const override;
+    void checkpointRestore(CheckpointReader &cr) override;
+    std::uint8_t checkpointTag() const override { return 1; }
 
   private:
     double value_ = 0;
@@ -108,6 +129,10 @@ class Average : public StatBase
         sum_ = 0;
         count_ = 0;
     }
+
+    void checkpointSave(CheckpointWriter &cw) const override;
+    void checkpointRestore(CheckpointReader &cr) override;
+    std::uint8_t checkpointTag() const override { return 2; }
 
   private:
     double sum_ = 0;
@@ -144,6 +169,10 @@ class Distribution : public StatBase
     void dumpJson(JsonWriter &jw) const override;
     void reset() override;
 
+    void checkpointSave(CheckpointWriter &cw) const override;
+    void checkpointRestore(CheckpointReader &cr) override;
+    std::uint8_t checkpointTag() const override { return 3; }
+
   private:
     double min_;
     double max_;
@@ -172,6 +201,10 @@ class Formula : public StatBase
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(JsonWriter &jw) const override;
     void reset() override {}
+
+    void checkpointSave(CheckpointWriter &) const override {}
+    void checkpointRestore(CheckpointReader &) override {}
+    std::uint8_t checkpointTag() const override { return 4; }
 
   private:
     std::function<double()> fn_;
@@ -219,6 +252,18 @@ class StatGroup
 
     /** Look up a stat in this group by local name; null when absent. */
     const StatBase *findStat(const std::string &name) const;
+
+    /**
+     * Serialize every stat of this subtree (depth first, registration
+     * order) into the open checkpoint section: per stat, its name, a
+     * type tag and its state; per child group, its name.  The restore
+     * walk demands an identically shaped tree -- it is only valid on
+     * a freshly built, identically configured component.
+     */
+    void checkpointSaveStats(CheckpointWriter &cw) const;
+
+    /** Restore the subtree written by checkpointSaveStats(). */
+    void checkpointRestoreStats(CheckpointReader &cr);
 
   private:
     friend class StatBase;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Memory-reference trace capture and the CSBT on-disk format.
+ *
+ * A TraceRecorder collects every data reference the core (or the
+ * reference interpreter) issues to the memory system -- tick, cpu,
+ * context, operation, address, size, data value and phase flags -- in
+ * issue order, and serializes the stream to the versioned little-endian
+ * binary format specified normatively in docs/TRACE_FORMAT.md
+ * (magic "CSBT", version 1, fixed 32-byte records).
+ *
+ * The stream is exactly what core::ReplayCore needs to re-drive the
+ * cache/ubuf/CSB/bus stack without a core: records appear in global
+ * issue order (ticks are monotonically non-decreasing; within a tick,
+ * event-phase records precede clocked-phase records, matching the
+ * simulator's events-then-clocked tick structure), so replay never
+ * sorts.
+ *
+ * MemTrace is the reader half: it parses a CSBT stream back into
+ * records, rejecting corrupt or truncated input with FatalError, and
+ * provides the human-readable text dump mode.
+ */
+
+#ifndef CSB_SIM_TRACE_RECORDER_HH
+#define CSB_SIM_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace csb::sim {
+
+/** Operation kind of one recorded data reference. */
+enum class TraceOp : std::uint8_t {
+    CachedLoad = 0,      ///< speculative cached load (value = TLB penalty)
+    CachedStore = 1,     ///< cached store at commit (value = store data)
+    CachedSwapStart = 2, ///< cached SWAP issue (value = new data)
+    SwapMemWrite = 3,    ///< memory write inside a SWAP completion
+    UncachedLoad = 4,    ///< uncached load pushed to the uncached buffer
+    UncachedStore = 5,   ///< uncached store pushed to the uncached buffer
+    CsbStore = 6,        ///< combining store accepted by the CSB
+    CsbFlush = 7,        ///< conditional flush (value = expected hit count)
+    Membar = 8,          ///< MEMBAR retired with buffers drained
+};
+
+/** @return the mnemonic used by the text dump ("cached-load", ...). */
+const char *traceOpName(TraceOp op);
+
+/** Flag bits of TraceRecord::flags. */
+enum TraceFlags : std::uint8_t {
+    /**
+     * The reference was issued from the event phase of its tick (a
+     * latency callback), not from the core's clocked evaluation.
+     * Replay must reproduce the phase, because components at negative
+     * eval order observe event-phase state a tick earlier.
+     */
+    TraceFlagEventPhase = 1u << 0,
+    /** The reference is one half of a SWAP read-modify-write. */
+    TraceFlagSwap = 1u << 1,
+    /** Bits 2-3 carry the mem::PageAttr of the referenced page. */
+    TraceFlagAttrShift = 2,
+    TraceFlagAttrMask = 0x3u << TraceFlagAttrShift,
+    /** Recorded by the reference interpreter (tick = step index). */
+    TraceFlagInterpreter = 1u << 4,
+};
+
+/** One recorded data reference; fixed 32-byte on-disk layout. */
+struct TraceRecord
+{
+    Tick tick = 0;           ///< CPU tick (interpreter: step index)
+    Addr addr = 0;           ///< physical address
+    std::uint64_t value = 0; ///< op-dependent payload (see TraceOp)
+    std::uint32_t pid = 0;   ///< issuing context's process id
+    TraceOp op = TraceOp::CachedLoad;
+    std::uint8_t cpu = 0;    ///< issuing core index
+    std::uint8_t size = 0;   ///< access size in bytes
+    std::uint8_t flags = 0;  ///< TraceFlags bit set
+
+    bool eventPhase() const { return flags & TraceFlagEventPhase; }
+    bool swapPart() const { return flags & TraceFlagSwap; }
+
+    bool
+    operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Collects the reference stream of one run and writes CSBT files.
+ *
+ * One recorder serves every core of a system; cores stamp their own
+ * index into each record.  Appending is O(1) amortized; the recorder
+ * never reorders (the simulator's tick loop already delivers records
+ * in the canonical order the format requires).
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param num_cpus  cores feeding this recorder (header field)
+     * @param line_bytes cache-line size of the recorded system; a
+     *        replay system must be configured identically
+     */
+    explicit TraceRecorder(std::uint32_t num_cpus = 1,
+                           std::uint32_t line_bytes = 64)
+        : numCpus_(num_cpus), lineBytes_(line_bytes)
+    {}
+
+    /** Append one reference in issue order. */
+    void append(const TraceRecord &rec) { records_.push_back(rec); }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::uint32_t numCpus() const { return numCpus_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Serialize the stream as CSBT v1 to @p os. */
+    void writeTo(std::ostream &os) const;
+
+    /** Serialize to @p path; throws FatalError when unwritable. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::uint32_t numCpus_;
+    std::uint32_t lineBytes_;
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * A parsed CSBT trace, ready for replay or text dumping.
+ *
+ * Loading validates magic, version, record size and stream length and
+ * throws FatalError on any mismatch (corrupt or truncated files are
+ * rejected, never silently shortened).
+ */
+class MemTrace
+{
+  public:
+    MemTrace() = default;
+
+    /** Parse a CSBT stream; throws FatalError on malformed input. */
+    static MemTrace readFrom(std::istream &is);
+
+    /** Parse the CSBT file at @p path; throws FatalError on error. */
+    static MemTrace loadFile(const std::string &path);
+
+    /** Build directly from an in-memory recorder (tests, benches). */
+    static MemTrace fromRecorder(const TraceRecorder &rec);
+
+    std::uint32_t numCpus() const { return numCpus_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Records of core @p cpu, preserving stream order. */
+    std::vector<TraceRecord> recordsForCpu(std::uint8_t cpu) const;
+
+    /**
+     * Text dump mode: one line per record
+     * (`tick op cpu pid addr size value flags`), preceded by a header
+     * comment -- the human-readable view docs/TRACE_FORMAT.md shows.
+     */
+    void dumpText(std::ostream &os) const;
+
+  private:
+    std::uint32_t numCpus_ = 1;
+    std::uint32_t lineBytes_ = 64;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace csb::sim
+
+#endif // CSB_SIM_TRACE_RECORDER_HH

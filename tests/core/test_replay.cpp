@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace replay determinism contract: replaying a recorded reference
+ * stream against a fresh replay-mode system reproduces the live run's
+ * memory-system behaviour tick for tick, byte for byte
+ * (docs/TRACE_FORMAT.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/experiments.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/trace_recorder.hh"
+
+namespace {
+
+using csb::FatalError;
+using csb::sim::MemTrace;
+using csb::sim::TraceRecorder;
+namespace core = csb::core;
+using core::Scheme;
+
+core::BandwidthSetup
+referenceSetup()
+{
+    core::BandwidthSetup setup;
+    setup.bus.kind = csb::bus::BusKind::Multiplexed;
+    setup.bus.widthBytes = 8;
+    setup.bus.ratio = 6;
+    setup.lineBytes = 64;
+    return setup;
+}
+
+void
+expectSameRun(const core::TracedRun &live, const core::TracedRun &rep)
+{
+    EXPECT_EQ(live.endTick, rep.endTick);
+    EXPECT_EQ(live.ioWriteBusCycles, rep.ioWriteBusCycles);
+    EXPECT_EQ(live.ioWriteTxns, rep.ioWriteTxns);
+    EXPECT_EQ(live.bytesPerBusCycle, rep.bytesPerBusCycle);
+    EXPECT_EQ(live.memStatsJson, rep.memStatsJson);
+}
+
+class ReplayIdentity : public ::testing::TestWithParam<Scheme>
+{};
+
+TEST_P(ReplayIdentity, RecordThenReplayIsTickIdentical)
+{
+    core::BandwidthSetup setup = referenceSetup();
+    TraceRecorder recorder(1, setup.lineBytes);
+    core::TracedRun live = core::recordStoreBandwidth(
+        setup, GetParam(), /*transfer_bytes=*/2048, &recorder);
+    ASSERT_FALSE(recorder.records().empty());
+
+    core::TracedRun rep = core::replayStoreBandwidth(
+        setup, GetParam(), 2048, MemTrace::fromRecorder(recorder));
+    expectSameRun(live, rep);
+}
+
+TEST_P(ReplayIdentity, ComputePaddedKernelStillTickIdentical)
+{
+    // The padded kernel leaves no records for its ALU chain; replay
+    // fast-forwards the gaps yet must land every bus transaction on
+    // the identical tick.
+    core::BandwidthSetup setup = referenceSetup();
+    TraceRecorder recorder(1, setup.lineBytes);
+    core::TracedRun live = core::recordStoreBandwidth(
+        setup, GetParam(), 1024, &recorder, /*alu_per_store=*/16);
+    core::TracedRun rep = core::replayStoreBandwidth(
+        setup, GetParam(), 1024, MemTrace::fromRecorder(recorder));
+    expectSameRun(live, rep);
+}
+
+std::string
+schemeTestName(const ::testing::TestParamInfo<Scheme> &info)
+{
+    switch (info.param) {
+      case Scheme::NoCombine: return "NoCombine";
+      case Scheme::Combine64: return "Combine64";
+      case Scheme::Csb: return "Csb";
+      default: return "Other";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ReplayIdentity,
+                         ::testing::Values(Scheme::NoCombine,
+                                           Scheme::Combine64,
+                                           Scheme::Csb),
+                         schemeTestName);
+
+TEST(Replay, SurvivesOnDiskRoundTrip)
+{
+    core::BandwidthSetup setup = referenceSetup();
+    TraceRecorder recorder(1, setup.lineBytes);
+    core::TracedRun live = core::recordStoreBandwidth(
+        setup, Scheme::Csb, 1024, &recorder);
+
+    std::string path = ::testing::TempDir() + "replay_rt.csbt";
+    recorder.writeFile(path);
+    core::TracedRun rep = core::replayStoreBandwidth(
+        setup, Scheme::Csb, 1024, MemTrace::loadFile(path));
+    std::remove(path.c_str());
+    expectSameRun(live, rep);
+}
+
+TEST(Replay, RecordingDoesNotPerturbTheRun)
+{
+    // Capture is passive: the recorded run's surface must equal an
+    // unrecorded run's.
+    core::BandwidthSetup setup = referenceSetup();
+    TraceRecorder recorder(1, setup.lineBytes);
+    core::TracedRun recorded = core::recordStoreBandwidth(
+        setup, Scheme::NoCombine, 1024, &recorder);
+    core::TracedRun plain = core::recordStoreBandwidth(
+        setup, Scheme::NoCombine, 1024, nullptr);
+    expectSameRun(plain, recorded);
+    EXPECT_EQ(plain.bytesPerBusCycle,
+              core::measureStoreBandwidth(setup, Scheme::NoCombine,
+                                          1024));
+}
+
+TEST(Replay, RejectsTraceWithMismatchedGeometry)
+{
+    // A trace recorded at 64-byte lines cannot drive a 32-byte-line
+    // system: the stream's flush/combining semantics assume the line.
+    core::BandwidthSetup setup = referenceSetup();
+    TraceRecorder recorder(1, setup.lineBytes);
+    core::recordStoreBandwidth(setup, Scheme::Csb, 512, &recorder);
+
+    core::BandwidthSetup narrow = referenceSetup();
+    narrow.lineBytes = 32;
+    core::SystemConfig cfg = core::bandwidthConfig(narrow, Scheme::Csb);
+    cfg.replayMode = true;
+    core::System system(cfg);
+    EXPECT_THROW(system.replay(MemTrace::fromRecorder(recorder)),
+                 FatalError);
+}
+
+TEST(Replay, RejectsInterpreterTraces)
+{
+    // Interpreter records carry step indices, not ticks; the replay
+    // front end refuses them up front.
+    TraceRecorder recorder(1, 64);
+    csb::sim::TraceRecord rec;
+    rec.tick = 0;
+    rec.op = csb::sim::TraceOp::UncachedStore;
+    rec.addr = 0x2000'0000;
+    rec.size = 8;
+    rec.flags = csb::sim::TraceFlagInterpreter;
+    recorder.append(rec);
+
+    core::SystemConfig cfg =
+        core::bandwidthConfig(referenceSetup(), Scheme::NoCombine);
+    cfg.replayMode = true;
+    core::System system(cfg);
+    EXPECT_THROW(system.replay(MemTrace::fromRecorder(recorder)),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the CSBC checkpoint container: typed round trip, the
+ * strict section protocol, and rejection of corrupt or truncated
+ * streams (docs/CHECKPOINT.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using csb::FatalError;
+using csb::sim::CheckpointReader;
+using csb::sim::CheckpointWriter;
+
+CheckpointWriter
+sampleWriter()
+{
+    CheckpointWriter cw;
+    cw.beginSection("alpha");
+    cw.putU8(0xab);
+    cw.putU32(0xdeadbeef);
+    cw.putU64(0x0123456789abcdefULL);
+    cw.putF64(2.5);
+    cw.putStr("hello");
+    cw.beginSection("beta");
+    const std::uint8_t blob[] = {1, 2, 3, 4, 5};
+    cw.putBytes(blob, sizeof(blob));
+    return cw;
+}
+
+std::string
+serialized(const CheckpointWriter &cw)
+{
+    std::ostringstream os;
+    cw.writeTo(os);
+    return os.str();
+}
+
+TEST(Checkpoint, TypedRoundTrip)
+{
+    std::istringstream in(serialized(sampleWriter()));
+    CheckpointReader cr = CheckpointReader::readFrom(in);
+    EXPECT_EQ(cr.numSections(), 2u);
+    EXPECT_TRUE(cr.hasSection("alpha"));
+    EXPECT_TRUE(cr.hasSection("beta"));
+    EXPECT_FALSE(cr.hasSection("gamma"));
+
+    cr.openSection("alpha");
+    EXPECT_EQ(cr.getU8(), 0xab);
+    EXPECT_EQ(cr.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(cr.getU64(), 0x0123456789abcdefULL);
+    EXPECT_DOUBLE_EQ(cr.getF64(), 2.5);
+    EXPECT_EQ(cr.getStr(), "hello");
+    cr.closeSection();
+
+    cr.openSection("beta");
+    auto blob = cr.getBytes();
+    ASSERT_EQ(blob.size(), 5u);
+    EXPECT_EQ(blob[0], 1);
+    EXPECT_EQ(blob[4], 5);
+    cr.closeSection();
+}
+
+TEST(Checkpoint, SectionsOpenInAnyOrder)
+{
+    std::istringstream in(serialized(sampleWriter()));
+    CheckpointReader cr = CheckpointReader::readFrom(in);
+    cr.openSection("beta");
+    (void)cr.getBytes();
+    cr.closeSection();
+    cr.openSection("alpha");
+    EXPECT_EQ(cr.getU8(), 0xab);
+    // Abandoning the rest of "alpha" without closeSection() is the
+    // only way to leave a section early -- and closing it must throw.
+    EXPECT_THROW(cr.closeSection(), FatalError);
+}
+
+TEST(Checkpoint, FileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "checkpoint_rt.csbc";
+    sampleWriter().writeFile(path);
+    CheckpointReader cr = CheckpointReader::loadFile(path);
+    cr.openSection("alpha");
+    EXPECT_EQ(cr.getU8(), 0xab);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OpeningMissingSectionThrows)
+{
+    std::istringstream in(serialized(sampleWriter()));
+    CheckpointReader cr = CheckpointReader::readFrom(in);
+    EXPECT_THROW(cr.openSection("gamma"), FatalError);
+}
+
+TEST(Checkpoint, ReadingPastSectionEndThrows)
+{
+    CheckpointWriter cw;
+    cw.beginSection("tiny");
+    cw.putU8(1);
+    std::istringstream in(serialized(cw));
+    CheckpointReader cr = CheckpointReader::readFrom(in);
+    cr.openSection("tiny");
+    EXPECT_EQ(cr.getU8(), 1);
+    EXPECT_THROW(cr.getU64(), FatalError);
+}
+
+TEST(Checkpoint, UnconsumedPayloadFailsClose)
+{
+    CheckpointWriter cw;
+    cw.beginSection("tiny");
+    cw.putU32(7);
+    std::istringstream in(serialized(cw));
+    CheckpointReader cr = CheckpointReader::readFrom(in);
+    cr.openSection("tiny");
+    EXPECT_THROW(cr.closeSection(), FatalError);
+}
+
+TEST(Checkpoint, RejectsBadMagic)
+{
+    std::string bytes = serialized(sampleWriter());
+    bytes[0] = 'X';
+    std::istringstream in(bytes);
+    EXPECT_THROW(CheckpointReader::readFrom(in), FatalError);
+}
+
+TEST(Checkpoint, RejectsUnknownVersion)
+{
+    std::string bytes = serialized(sampleWriter());
+    bytes[4] = 42; // version field, little-endian low byte
+    std::istringstream in(bytes);
+    EXPECT_THROW(CheckpointReader::readFrom(in), FatalError);
+}
+
+TEST(Checkpoint, RejectsTruncation)
+{
+    std::string bytes = serialized(sampleWriter());
+    for (std::size_t cut : {std::size_t(10), bytes.size() / 2,
+                            bytes.size() - 1}) {
+        std::istringstream in(bytes.substr(0, cut));
+        EXPECT_THROW(CheckpointReader::readFrom(in), FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Checkpoint, RejectsTrailingBytes)
+{
+    std::istringstream in(serialized(sampleWriter()) + "junk");
+    EXPECT_THROW(CheckpointReader::readFrom(in), FatalError);
+}
+
+TEST(Checkpoint, LoadFileRejectsMissingFile)
+{
+    EXPECT_THROW(CheckpointReader::loadFile("/nonexistent/x.csbc"),
+                 FatalError);
+}
+
+} // namespace
