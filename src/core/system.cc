@@ -214,6 +214,8 @@ System::buildCoreSlice(unsigned cpu)
     if (config_.enableCsb) {
         slice.csb = std::make_unique<mem::ConditionalStoreBuffer>(
             sim_, *bus_, config_.csb, "csb" + suffix, this);
+        if (injector_)
+            slice.csb->setFaultInjector(injector_.get());
     }
 
     // In replay mode the slice has no core at all: a ReplayCore is

@@ -48,6 +48,15 @@ ContextScheduler::allFinished() const
     return core_.halted();
 }
 
+const ArchState &
+ContextScheduler::finalState(std::size_t index) const
+{
+    csb_assert(index < processes_.size(), "bad process index");
+    if (static_cast<int>(index) == current_)
+        return core_.archState();
+    return processes_[index].state;
+}
+
 int
 ContextScheduler::nextRunnable(int from) const
 {

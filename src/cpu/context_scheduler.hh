@@ -37,6 +37,16 @@ class ContextScheduler : public sim::Clocked, public sim::stats::StatGroup
     /** @return true when every process has halted. */
     bool allFinished() const;
 
+    /** Number of registered processes. */
+    std::size_t numProcesses() const { return processes_.size(); }
+
+    /**
+     * Final architectural state of process @p index.  Meaningful once
+     * allFinished(); the process still loaded on the core is read
+     * from the core's live state.
+     */
+    const ArchState &finalState(std::size_t index) const;
+
     void tick() override;
 
     sim::stats::Scalar preemptions;

@@ -435,7 +435,14 @@ Core::loadBlockedByStore(const DynInst &load, std::uint64_t &fwd_val,
             di.attr == mem::PageAttr::Cached &&
             di.effAddr == load.effAddr && di.size == load.size &&
             di.src2Producer == 0) {
-            fwd_val = di.src2Val;
+            // Forward only the bytes the store actually writes: a
+            // narrow store truncates its register at memory, so the
+            // forwarded value must be truncated the same way (found by
+            // the litmus harness, tests/litmus/corpus/fwd_mask).
+            fwd_val = di.size >= 8
+                          ? di.src2Val
+                          : di.src2Val &
+                                ((std::uint64_t(1) << (di.size * 8)) - 1);
             can_forward = true;
         }
         return true;

@@ -1,0 +1,124 @@
+#include "generator.hh"
+
+#include "sim/random.hh"
+
+namespace csb::litmus {
+
+unsigned
+contextsForSeed(std::uint64_t seed)
+{
+    // 1, 2 or 4 contexts, uniformly over the seed space.
+    static constexpr unsigned counts[] = {1, 2, 4};
+    sim::Random rng(seed ^ 0xc047e470c047e470ULL);
+    return counts[rng.uniform(0, 2)];
+}
+
+namespace {
+
+std::uint8_t
+pickSize(sim::Random &rng)
+{
+    static constexpr unsigned sizes[] = {1, 4, 8};
+    return static_cast<std::uint8_t>(sizes[rng.uniform(0, 2)]);
+}
+
+Token
+pickToken(sim::Random &rng)
+{
+    Token t;
+    t.size = pickSize(rng);
+    // Few lines and slots, so tokens collide on addresses often --
+    // overlap is where ordering bugs live.
+    t.line = static_cast<std::uint8_t>(rng.uniform(0, numLines - 1));
+    t.slot = static_cast<std::uint8_t>(rng.uniform(0, numSlots - 1));
+    t.nStores =
+        static_cast<std::uint8_t>(rng.uniform(1, maxBurstStores));
+    t.value = rng.next();
+
+    std::uint64_t dice = rng.uniform(0, 99);
+    if (dice < 28)
+        t.kind = TokenKind::CsbBurst;
+    else if (dice < 38)
+        t.kind = TokenKind::UnflushedStores;
+    else if (dice < 46)
+        t.kind = TokenKind::ProbeFlush;
+    else if (dice < 60)
+        t.kind = TokenKind::CachedStore;
+    else if (dice < 70)
+        t.kind = TokenKind::CachedLoad;
+    else if (dice < 82)
+        t.kind = TokenKind::UncachedStore;
+    else if (dice < 88)
+        t.kind = TokenKind::UncachedSwap;
+    else if (dice < 94)
+        t.kind = TokenKind::Membar;
+    else
+        t.kind = TokenKind::Alu;
+
+    // Reset the fields this kind's lowering ignores to their
+    // defaults: generated cases round-trip through the text format
+    // (which serializes meaningful fields only), and the shrinker
+    // never wastes evaluations simplifying dead fields.
+    Token canon;
+    canon.kind = t.kind;
+    switch (t.kind) {
+      case TokenKind::CachedStore:
+      case TokenKind::UncachedStore:
+        canon.size = t.size;
+        canon.slot = t.slot;
+        canon.value = t.value;
+        break;
+      case TokenKind::CachedLoad:
+        canon.size = t.size;
+        canon.slot = t.slot;
+        break;
+      case TokenKind::Alu:
+        canon.value = t.value;
+        break;
+      case TokenKind::CsbBurst:
+      case TokenKind::UnflushedStores:
+        canon.size = t.size;
+        canon.line = t.line;
+        canon.nStores = t.nStores;
+        canon.value = t.value;
+        break;
+      case TokenKind::ProbeFlush:
+        canon.line = t.line;
+        break;
+      case TokenKind::UncachedSwap:
+        canon.slot = t.slot;
+        canon.value = t.value;
+        break;
+      case TokenKind::Membar:
+        break;
+    }
+    return canon;
+}
+
+} // namespace
+
+TestCase
+generate(std::uint64_t seed, const GeneratorOptions &opts)
+{
+    sim::Random rng(seed);
+    TestCase tc;
+    tc.seed = seed;
+
+    unsigned contexts = contextsForSeed(seed);
+    for (unsigned c = 0; c < contexts; ++c) {
+        ContextProgram cp;
+        cp.pid = static_cast<ProcId>(c + 1);
+        unsigned lo = opts.tokensPerContext > 4
+                          ? opts.tokensPerContext - 4
+                          : 1;
+        unsigned count = static_cast<unsigned>(
+            rng.uniform(lo, opts.tokensPerContext + 4));
+        cp.tokens.reserve(count);
+        for (unsigned i = 0; i < count; ++i)
+            cp.tokens.push_back(pickToken(rng));
+        tc.contexts.push_back(std::move(cp));
+    }
+    return tc;
+}
+
+} // namespace csb::litmus

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Seeded random litmus-case generator.
+ *
+ * Pure function of the seed: the same seed always yields the same
+ * TestCase, on any host and at any thread count, because the only
+ * entropy source is one sim::Random stream derived from the seed.
+ * The token mix is deliberately biased toward the interleavings the
+ * paper's correctness argument depends on: combining bursts and their
+ * retry loops, deliberately discarded (unflushed) stores, probe
+ * flushes that clear a colleague's accumulation mid-burst under
+ * time-sharing, plain uncached traffic that must stay strongly
+ * ordered, MEMBARs, and cached traffic to keep the pipeline's
+ * load/store machinery honest.
+ */
+
+#ifndef CSB_LITMUS_GENERATOR_HH
+#define CSB_LITMUS_GENERATOR_HH
+
+#include <cstdint>
+
+#include "testcase.hh"
+
+namespace csb::litmus {
+
+struct GeneratorOptions
+{
+    /** Mean tokens per context (actual count varies a little). */
+    unsigned tokensPerContext = 12;
+};
+
+/** Contexts the case for @p seed will have (1, 2 or 4). */
+unsigned contextsForSeed(std::uint64_t seed);
+
+/** Deterministically generate the case for @p seed. */
+TestCase generate(std::uint64_t seed,
+                  const GeneratorOptions &opts = GeneratorOptions());
+
+} // namespace csb::litmus
+
+#endif // CSB_LITMUS_GENERATOR_HH

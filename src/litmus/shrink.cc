@@ -1,0 +1,144 @@
+#include "shrink.hh"
+
+#include "sim/logging.hh"
+
+namespace csb::litmus {
+
+namespace {
+
+/** Wrap the user predicate to count evaluations. */
+struct CountingPredicate
+{
+    const FailPredicate &fails;
+    ShrinkStats &stats;
+
+    bool
+    operator()(const TestCase &tc) const
+    {
+        ++stats.evaluations;
+        return fails(tc);
+    }
+};
+
+/** Try to drop whole contexts (highest index first, keeps pids). */
+bool
+shrinkContexts(TestCase &tc, const CountingPredicate &fails)
+{
+    bool changed = false;
+    for (std::size_t i = tc.contexts.size(); i-- > 0;) {
+        if (tc.contexts.size() == 1)
+            break;
+        TestCase candidate = tc;
+        candidate.contexts.erase(candidate.contexts.begin() +
+                                 std::ptrdiff_t(i));
+        if (fails(candidate)) {
+            tc = std::move(candidate);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/**
+ * Classic ddmin over one context's token list: try removing chunks,
+ * halving the chunk size until single tokens have been tried.
+ */
+bool
+ddminTokens(TestCase &tc, std::size_t ctx,
+            const CountingPredicate &fails)
+{
+    bool changed = false;
+    std::size_t chunk = tc.contexts[ctx].tokens.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (true) {
+        if (tc.contexts[ctx].tokens.empty())
+            break;
+        bool removed_any = false;
+        for (std::size_t start = 0;
+             start < tc.contexts[ctx].tokens.size();) {
+            std::size_t len =
+                std::min(chunk, tc.contexts[ctx].tokens.size() - start);
+            if (len == 0)
+                break;
+            TestCase candidate = tc;
+            auto &cand_tokens = candidate.contexts[ctx].tokens;
+            cand_tokens.erase(cand_tokens.begin() +
+                                  std::ptrdiff_t(start),
+                              cand_tokens.begin() +
+                                  std::ptrdiff_t(start + len));
+            if (fails(candidate)) {
+                tc = std::move(candidate);
+                removed_any = true;
+                changed = true;
+                // Same start now points at the next chunk.
+            } else {
+                start += len;
+            }
+        }
+        if (chunk == 1 && !removed_any)
+            break;
+        if (!removed_any)
+            chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return changed;
+}
+
+/** Per-token simplifications: fewer burst stores, simpler values. */
+bool
+simplifyTokens(TestCase &tc, const CountingPredicate &fails)
+{
+    bool changed = false;
+    for (std::size_t c = 0; c < tc.contexts.size(); ++c) {
+        for (std::size_t i = 0; i < tc.contexts[c].tokens.size(); ++i) {
+            const Token &tok = tc.contexts[c].tokens[i];
+            // Fewer stores in a burst lowers to fewer instructions.
+            if ((tok.kind == TokenKind::CsbBurst ||
+                 tok.kind == TokenKind::UnflushedStores) &&
+                tok.nStores > 1) {
+                TestCase candidate = tc;
+                candidate.contexts[c].tokens[i].nStores = 1;
+                if (fails(candidate)) {
+                    tc = std::move(candidate);
+                    changed = true;
+                    continue;
+                }
+            }
+            if (tok.value > 1) {
+                TestCase candidate = tc;
+                candidate.contexts[c].tokens[i].value = 1;
+                if (fails(candidate)) {
+                    tc = std::move(candidate);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+TestCase
+shrink(TestCase tc, const FailPredicate &fails, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+    CountingPredicate counted{fails, st};
+
+    if (!counted(tc))
+        csb_fatal("shrink: the input case does not fail");
+
+    bool changed = true;
+    while (changed) {
+        ++st.rounds;
+        changed = false;
+        changed |= shrinkContexts(tc, counted);
+        for (std::size_t c = 0; c < tc.contexts.size(); ++c)
+            changed |= ddminTokens(tc, c, counted);
+        changed |= simplifyTokens(tc, counted);
+    }
+    return tc;
+}
+
+} // namespace csb::litmus

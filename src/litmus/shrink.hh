@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing litmus cases.
+ *
+ * Given a case and a predicate "does this case still fail?", the
+ * shrinker greedily minimizes: whole contexts first, then ddmin over
+ * each context's token list, then per-token simplifications (fewer
+ * stores in a burst, smaller values), iterating to a fixpoint.  The
+ * procedure is a pure function of (case, predicate): no randomness,
+ * no wall-clock -- re-running a shrink reproduces the identical
+ * minimal case, which is what lets shrunk repros be checked into the
+ * regression corpus and re-verified byte-for-byte (docs/LITMUS.md).
+ */
+
+#ifndef CSB_LITMUS_SHRINK_HH
+#define CSB_LITMUS_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "testcase.hh"
+
+namespace csb::litmus {
+
+/** Returns true when @p tc still exhibits the failure. */
+using FailPredicate = std::function<bool(const TestCase &)>;
+
+struct ShrinkStats
+{
+    /** Fixpoint iterations of the outer loop. */
+    unsigned rounds = 0;
+    /** Total predicate evaluations (each one is a full oracle run). */
+    std::uint64_t evaluations = 0;
+};
+
+/**
+ * Minimize @p tc while @p fails keeps returning true.
+ * @pre fails(tc) -- the input must actually fail.
+ */
+TestCase shrink(TestCase tc, const FailPredicate &fails,
+                ShrinkStats *stats = nullptr);
+
+} // namespace csb::litmus
+
+#endif // CSB_LITMUS_SHRINK_HH

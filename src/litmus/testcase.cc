@@ -1,0 +1,348 @@
+#include "testcase.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace csb::litmus {
+
+using isa::ir;
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::CachedStore: return "cached-store";
+      case TokenKind::CachedLoad: return "cached-load";
+      case TokenKind::Alu: return "alu";
+      case TokenKind::CsbBurst: return "csb-burst";
+      case TokenKind::UnflushedStores: return "unflushed";
+      case TokenKind::ProbeFlush: return "probe-flush";
+      case TokenKind::UncachedStore: return "uncached-store";
+      case TokenKind::UncachedSwap: return "uncached-swap";
+      case TokenKind::Membar: return "membar";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Deterministic per-store data for burst store @p i. */
+std::uint64_t
+burstValue(std::uint64_t base, unsigned i)
+{
+    return base ^ ((i + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+void
+emitStore(isa::Program &p, unsigned size, isa::RegId data,
+          isa::RegId base, std::int64_t off)
+{
+    switch (size) {
+      case 1: p.stb(data, base, off); break;
+      case 4: p.stw(data, base, off); break;
+      case 8: p.std_(data, base, off); break;
+      default: csb_fatal("litmus: bad store size ", size);
+    }
+}
+
+void
+emitLoad(isa::Program &p, unsigned size, isa::RegId rd, isa::RegId base,
+         std::int64_t off)
+{
+    switch (size) {
+      case 1: p.ldb(rd, base, off); break;
+      case 4: p.ldw(rd, base, off); break;
+      case 8: p.ldd(rd, base, off); break;
+      default: csb_fatal("litmus: bad load size ", size);
+    }
+}
+
+bool
+usesArena(const Token &t)
+{
+    return t.kind == TokenKind::CachedStore ||
+           t.kind == TokenKind::CachedLoad;
+}
+
+bool
+usesUncached(const Token &t)
+{
+    return t.kind == TokenKind::UncachedStore ||
+           t.kind == TokenKind::UncachedSwap;
+}
+
+bool
+usesCsb(const Token &t)
+{
+    return t.kind == TokenKind::CsbBurst ||
+           t.kind == TokenKind::UnflushedStores ||
+           t.kind == TokenKind::ProbeFlush;
+}
+
+} // namespace
+
+isa::Program
+lowerContext(const TestCase &tc, std::size_t ctx)
+{
+    csb_assert(ctx < tc.contexts.size(), "litmus: bad context index");
+    const ContextProgram &cp = tc.contexts[ctx];
+
+    // Base registers are only materialized when a token needs them, so
+    // a shrunk single-token case lowers to the fewest instructions the
+    // mini-ISA allows (the <= 20 instruction repro bound depends on
+    // this).
+    bool need_arena = false, need_unc = false, need_csb = false;
+    for (const Token &t : cp.tokens) {
+        need_arena |= usesArena(t);
+        need_unc |= usesUncached(t);
+        need_csb |= usesCsb(t);
+    }
+
+    // Register map: r1/r2/r3 = arena/uncached/CSB window bases,
+    // r4 = store data, r5 = load/probe accumulator, r6 = ALU mixer,
+    // r9/r12 = flush retry expected/compare, r10 = last load value.
+    isa::Program p;
+    if (need_arena)
+        p.li(ir(1), static_cast<std::int64_t>(arenaBase(ctx)));
+    if (need_unc)
+        p.li(ir(2), static_cast<std::int64_t>(uncachedWindow(ctx)));
+    if (need_csb)
+        p.li(ir(3), static_cast<std::int64_t>(csbWindow(ctx)));
+
+    for (const Token &t : cp.tokens) {
+        std::int64_t slot_off = std::int64_t(t.slot % numSlots) * 8;
+        std::int64_t line_off = std::int64_t(t.line % numLines) * 64;
+        unsigned n = std::min<unsigned>(std::max<unsigned>(t.nStores, 1),
+                                        maxBurstStores);
+        switch (t.kind) {
+          case TokenKind::CachedStore:
+            p.li(ir(4), static_cast<std::int64_t>(t.value));
+            emitStore(p, t.size, ir(4), ir(1), slot_off);
+            break;
+          case TokenKind::CachedLoad:
+            emitLoad(p, t.size, ir(10), ir(1), slot_off);
+            p.add_(ir(5), ir(5), ir(10));
+            break;
+          case TokenKind::Alu:
+            p.li(ir(4), static_cast<std::int64_t>(t.value));
+            p.xor_(ir(6), ir(6), ir(4));
+            break;
+          case TokenKind::CsbBurst: {
+            // The paper's retry-loop idiom (section 3.2, also
+            // core::makeCsbStoreKernel): re-run the whole burst until
+            // the conditional flush reports the expected hit count.
+            isa::Label retry = p.newLabel();
+            p.bind(retry);
+            for (unsigned i = 0; i < n; ++i) {
+                p.li(ir(4),
+                     static_cast<std::int64_t>(burstValue(t.value, i)));
+                emitStore(p, t.size, ir(4), ir(3),
+                          line_off + std::int64_t(i) * 8);
+            }
+            p.li(ir(9), static_cast<std::int64_t>(n));
+            p.swap(ir(9), ir(3), line_off);
+            p.li(ir(12), static_cast<std::int64_t>(n));
+            p.bne(ir(9), ir(12), retry);
+            break;
+          }
+          case TokenKind::UnflushedStores:
+            // The discard path: combining stores that are never
+            // flushed must leave no trace on the device.
+            for (unsigned i = 0; i < n; ++i) {
+                p.li(ir(4),
+                     static_cast<std::int64_t>(burstValue(t.value, i)));
+                emitStore(p, t.size, ir(4), ir(3),
+                          line_off + std::int64_t(i) * 8);
+            }
+            break;
+          case TokenKind::ProbeFlush:
+            // expected = 0 can never match a non-zero hit counter, so
+            // this flush fails deterministically (and clears whatever
+            // happened to be accumulating).
+            p.li(ir(9), 0);
+            p.swap(ir(9), ir(3), line_off);
+            p.add_(ir(5), ir(5), ir(9));
+            break;
+          case TokenKind::UncachedStore:
+            p.li(ir(4), static_cast<std::int64_t>(t.value));
+            emitStore(p, t.size, ir(4), ir(2), slot_off);
+            break;
+          case TokenKind::UncachedSwap:
+            // Device registers are never programmed: the old value is
+            // deterministically zero on every model.
+            p.li(ir(4), static_cast<std::int64_t>(t.value));
+            p.swap(ir(4), ir(2), slot_off);
+            p.add_(ir(5), ir(5), ir(4));
+            break;
+          case TokenKind::Membar:
+            p.membar();
+            break;
+        }
+    }
+    p.halt();
+    p.finalize();
+    return p;
+}
+
+std::size_t
+TestCase::loweredInstructionCount() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < contexts.size(); ++i)
+        total += lowerContext(*this, i).size();
+    return total;
+}
+
+std::string
+TestCase::toText() const
+{
+    std::ostringstream os;
+    os << "# csbsim litmus case v1\n";
+    os << "case seed=" << seed << "\n";
+    for (const ContextProgram &cp : contexts) {
+        os << "context pid=" << cp.pid << "\n";
+        for (const Token &t : cp.tokens) {
+            os << "  " << tokenKindName(t.kind);
+            switch (t.kind) {
+              case TokenKind::CachedStore:
+              case TokenKind::UncachedStore:
+                os << " size=" << unsigned(t.size)
+                   << " slot=" << unsigned(t.slot) << " value=0x"
+                   << std::hex << t.value << std::dec;
+                break;
+              case TokenKind::CachedLoad:
+                os << " size=" << unsigned(t.size)
+                   << " slot=" << unsigned(t.slot);
+                break;
+              case TokenKind::Alu:
+                os << " value=0x" << std::hex << t.value << std::dec;
+                break;
+              case TokenKind::CsbBurst:
+              case TokenKind::UnflushedStores:
+                os << " line=" << unsigned(t.line)
+                   << " stores=" << unsigned(t.nStores)
+                   << " size=" << unsigned(t.size) << " value=0x"
+                   << std::hex << t.value << std::dec;
+                break;
+              case TokenKind::ProbeFlush:
+                os << " line=" << unsigned(t.line);
+                break;
+              case TokenKind::UncachedSwap:
+                os << " slot=" << unsigned(t.slot) << " value=0x"
+                   << std::hex << t.value << std::dec;
+                break;
+              case TokenKind::Membar:
+                break;
+            }
+            os << "\n";
+        }
+        os << "end\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Parse "key=value" pairs following a keyword. */
+std::uint64_t
+fieldValue(const std::string &line, const std::string &key,
+           std::uint64_t fallback, bool required = false)
+{
+    std::string needle = key + "=";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) {
+        if (required)
+            csb_fatal("litmus parse: missing '", key, "' in: ", line);
+        return fallback;
+    }
+    try {
+        return std::stoull(line.substr(pos + needle.size()), nullptr, 0);
+    } catch (const std::exception &) {
+        csb_fatal("litmus parse: bad value for '", key, "' in: ", line);
+    }
+}
+
+TokenKind
+kindFromName(const std::string &name)
+{
+    for (unsigned k = 0; k <= unsigned(TokenKind::Membar); ++k) {
+        TokenKind kind = static_cast<TokenKind>(k);
+        if (name == tokenKindName(kind))
+            return kind;
+    }
+    csb_fatal("litmus parse: unknown token kind '", name, "'");
+}
+
+} // namespace
+
+TestCase
+TestCase::fromText(const std::string &text)
+{
+    TestCase tc;
+    ContextProgram current;
+    bool in_context = false;
+    bool saw_case = false;
+
+    std::istringstream is(text);
+    std::string raw;
+    while (std::getline(is, raw)) {
+        std::size_t start = raw.find_first_not_of(" \t\r");
+        if (start == std::string::npos)
+            continue;
+        std::string line = raw.substr(start);
+        if (line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        // Harness-owned directives live in the same file; skip them.
+        if (word == "run" || word == "expect")
+            continue;
+        if (word == "case") {
+            if (saw_case)
+                csb_fatal("litmus parse: duplicate 'case' line");
+            saw_case = true;
+            tc.seed = fieldValue(line, "seed", 0);
+            continue;
+        }
+        if (word == "context") {
+            if (in_context)
+                csb_fatal("litmus parse: nested 'context' block");
+            in_context = true;
+            current = ContextProgram{};
+            current.pid = static_cast<ProcId>(
+                fieldValue(line, "pid", tc.contexts.size() + 1));
+            continue;
+        }
+        if (word == "end") {
+            if (!in_context)
+                csb_fatal("litmus parse: stray 'end'");
+            in_context = false;
+            tc.contexts.push_back(std::move(current));
+            continue;
+        }
+        if (!in_context)
+            csb_fatal("litmus parse: token outside context: ", line);
+        Token t;
+        t.kind = kindFromName(word);
+        t.size = static_cast<std::uint8_t>(fieldValue(line, "size", 8));
+        t.line = static_cast<std::uint8_t>(fieldValue(line, "line", 0));
+        t.nStores =
+            static_cast<std::uint8_t>(fieldValue(line, "stores", 1));
+        t.slot = static_cast<std::uint8_t>(fieldValue(line, "slot", 0));
+        t.value = fieldValue(line, "value", 0);
+        if (t.size != 1 && t.size != 4 && t.size != 8)
+            csb_fatal("litmus parse: bad size in: ", line);
+        current.tokens.push_back(t);
+    }
+    if (in_context)
+        csb_fatal("litmus parse: unterminated context block");
+    if (!saw_case)
+        csb_fatal("litmus parse: missing 'case' line");
+    if (tc.contexts.empty())
+        csb_fatal("litmus parse: no contexts");
+    return tc;
+}
+
+} // namespace csb::litmus

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Litmus test cases: a store-ordering torture program as data.
+ *
+ * A TestCase is a small number of contexts, each a list of tokens.  A
+ * token is the unit of generation and shrinking; each lowers to a
+ * short, self-contained mini-ISA sequence whose final architectural
+ * effect is deterministic under ANY legal interleaving of the cycle
+ * model -- that is the property the differential oracle exploits
+ * (docs/LITMUS.md).  The dangerous ingredients all appear at the token
+ * level: conditional-flush retry loops, deliberately unflushed
+ * (discarded) combining stores, always-failing probe flushes, plain
+ * uncached stores and swaps, MEMBARs and cached traffic mixed in.
+ *
+ * Determinism rules the tokens obey by construction:
+ *  - every context owns disjoint cached and I/O regions, so final
+ *    state cannot depend on cross-context timing (the reduction-
+ *    theorem side condition, PAPERS.md);
+ *  - uncached loads only ever observe device registers that are never
+ *    programmed, so they read zero everywhere;
+ *  - every conditional flush is either inside a checked retry loop
+ *    (succeeds exactly once) or a probe with expected count 0 (fails
+ *    always);
+ *  - branch conditions depend only on deterministic register values.
+ */
+
+#ifndef CSB_LITMUS_TESTCASE_HH
+#define CSB_LITMUS_TESTCASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace csb::litmus {
+
+/** Cached scratch arena of context @p ctx (disjoint per context). */
+constexpr Addr
+arenaBase(std::size_t ctx)
+{
+    return 0x8000 + static_cast<Addr>(ctx) * 0x400;
+}
+
+/** Bytes of arena a context may touch. */
+constexpr unsigned arenaBytes = 256;
+
+/** Plain-uncached device window of context @p ctx. */
+constexpr Addr
+uncachedWindow(std::size_t ctx)
+{
+    return core::System::ioUncachedBase + static_cast<Addr>(ctx) * 0x1000;
+}
+
+/** Uncached-combining (CSB) device window of context @p ctx. */
+constexpr Addr
+csbWindow(std::size_t ctx)
+{
+    return core::System::ioCsbBase + static_cast<Addr>(ctx) * 0x1000;
+}
+
+/** CSB lines per context window the generator draws from. */
+constexpr unsigned numLines = 4;
+/** 8-byte slots per arena / uncached window. */
+constexpr unsigned numSlots = 32;
+/** Maximum combining stores per burst (one per dword of a line). */
+constexpr unsigned maxBurstStores = 8;
+
+/** What one token does when lowered. */
+enum class TokenKind : std::uint8_t {
+    CachedStore,     ///< arena[slot] = value
+    CachedLoad,      ///< fold arena[slot] into the accumulator register
+    Alu,             ///< mix an immediate into a register
+    CsbBurst,        ///< checked combining burst: stores + flush retry loop
+    UnflushedStores, ///< combining stores deliberately never flushed
+    ProbeFlush,      ///< conditional flush with expected=0 (always fails)
+    UncachedStore,   ///< plain uncached device store
+    UncachedSwap,    ///< plain uncached swap (reads a zero register)
+    Membar,          ///< drain barrier
+};
+
+const char *tokenKindName(TokenKind kind);
+
+/** One generation/shrinking unit.  Field use depends on kind. */
+struct Token
+{
+    TokenKind kind = TokenKind::Membar;
+    /** Access size in bytes (1, 4 or 8) where applicable. */
+    std::uint8_t size = 8;
+    /** CSB line index within the context window (CsbBurst & friends). */
+    std::uint8_t line = 0;
+    /** Combining stores in a burst (1..maxBurstStores). */
+    std::uint8_t nStores = 1;
+    /** Arena / uncached-window slot index (8-byte granules). */
+    std::uint8_t slot = 0;
+    /** Immediate data value. */
+    std::uint64_t value = 0;
+
+    bool operator==(const Token &) const = default;
+};
+
+/** One context's token list. */
+struct ContextProgram
+{
+    ProcId pid = 1;
+    std::vector<Token> tokens;
+
+    bool operator==(const ContextProgram &) const = default;
+};
+
+/** A whole litmus case. */
+struct TestCase
+{
+    /** Generator seed (provenance only; replay never re-derives). */
+    std::uint64_t seed = 0;
+    std::vector<ContextProgram> contexts;
+
+    bool operator==(const TestCase &) const = default;
+
+    /** Serialize to the `.litmus` text format (docs/LITMUS.md). */
+    std::string toText() const;
+
+    /**
+     * Parse the text format.  Lines starting with '#' and directive
+     * lines the harness owns (`run ...`, `expect ...`) are ignored, so
+     * a corpus file parses directly.  Throws FatalError on malformed
+     * input.
+     */
+    static TestCase fromText(const std::string &text);
+
+    /** Total instructions the lowered contexts contain. */
+    std::size_t loweredInstructionCount() const;
+};
+
+/**
+ * Lower context @p ctx to an executable program.  Pure: equal cases
+ * lower to equal programs.
+ */
+isa::Program lowerContext(const TestCase &tc, std::size_t ctx);
+
+} // namespace csb::litmus
+
+#endif // CSB_LITMUS_TESTCASE_HH

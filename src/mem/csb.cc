@@ -141,11 +141,21 @@ ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
     }
 
     // Success: hand the (zero-padded) line to the system interface.
-    OutLine out;
-    out.addr = lineAddr_;
-    out.data = data_;
-    out.valid = valid_;
-    outbox_.push_back(std::move(out));
+    // The CsbFlushDrop DEBUG knob models a buggy CSB that reports
+    // success but loses the line; the litmus harness exists to catch
+    // exactly this class of bug, so the drop happens after all the
+    // success bookkeeping a real buggy implementation would also do.
+    if (injector_ &&
+        injector_->shouldFault(sim::FaultSite::CsbFlushDrop)) {
+        sim::trace::log("csb", "flush line DROPPED (debug bug knob) "
+                        "pid=", pid, " line=0x", std::hex, line);
+    } else {
+        OutLine out;
+        out.addr = lineAddr_;
+        out.data = data_;
+        out.valid = valid_;
+        outbox_.push_back(std::move(out));
+    }
 
     sim::trace::log("csb", "flush OK pid=", pid, " line=0x", std::hex,
                     line, std::dec, " stores=", expected);

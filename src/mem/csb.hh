@@ -39,6 +39,7 @@
 #include "bus/system_bus.hh"
 #include "decompose.hh"
 #include "sim/clocked.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -140,6 +141,18 @@ class ConditionalStoreBuffer : public sim::Clocked,
     void debugDump(std::ostream &os) const override;
 
     /**
+     * Attach the system's fault injector (null detaches).  The only
+     * site consulted here is the FaultSite::CsbFlushDrop DEBUG knob:
+     * when it fires, a successful flush's line is silently discarded
+     * instead of entering the outbox -- an intentional exactly-once
+     * violation the litmus harness must detect (docs/LITMUS.md).
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
      * Serialize the accumulating line register (data, valid mask, line
      * address, pid, hit counter).  @pre drained() -- the outbox, retry
      * queue and in-flight counters are empty at a checkpoint boundary,
@@ -198,6 +211,8 @@ class ConditionalStoreBuffer : public sim::Clocked,
     bus::SystemBus &bus_;
     CsbParams params_;
     MasterId masterId_;
+    /** Optional fault injector (not owned); null = no faults. */
+    sim::FaultInjector *injector_ = nullptr;
 
     // Accumulating line register.
     std::array<std::uint8_t, maxBlockBytes> data_{};

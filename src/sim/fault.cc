@@ -15,6 +15,7 @@ faultSiteName(FaultSite site)
       case FaultSite::WireDrop: return "wire-drop";
       case FaultSite::WireCorrupt: return "wire-corrupt";
       case FaultSite::AckDrop: return "ack-drop";
+      case FaultSite::CsbFlushDrop: return "csb-flush-drop";
       case FaultSite::NumSites: break;
     }
     return "?";
@@ -30,6 +31,7 @@ FaultPlan::rate(FaultSite site) const
       case FaultSite::WireDrop: return wireDropRate;
       case FaultSite::WireCorrupt: return wireCorruptRate;
       case FaultSite::AckDrop: return ackDropRate;
+      case FaultSite::CsbFlushDrop: return csbFlushDropRate;
       case FaultSite::NumSites: break;
     }
     return 0;
@@ -38,7 +40,13 @@ FaultPlan::rate(FaultSite site) const
 bool
 FaultPlan::enabled() const
 {
-    return busFaultsEnabled() || wireFaultsEnabled();
+    return busFaultsEnabled() || wireFaultsEnabled() || csbBugEnabled();
+}
+
+bool
+FaultPlan::csbBugEnabled() const
+{
+    return csbFlushDropRate > 0;
 }
 
 bool
@@ -88,6 +96,8 @@ FaultInjector::FaultInjector(const FaultPlan &plan, std::string name,
       wireCorruptions(this, "wireCorruptions",
                       "NI wire packets corrupted"),
       ackDrops(this, "ackDrops", "NI acknowledgments dropped"),
+      csbFlushDrops(this, "csbFlushDrops",
+                    "flushed CSB lines dropped (debug bug knob)"),
       plan_(plan)
 {
     plan_.validate();
@@ -107,6 +117,7 @@ FaultInjector::counterFor(FaultSite site)
       case FaultSite::WireDrop: return wireDrops;
       case FaultSite::WireCorrupt: return wireCorruptions;
       case FaultSite::AckDrop: return ackDrops;
+      case FaultSite::CsbFlushDrop: return csbFlushDrops;
       case FaultSite::NumSites: break;
     }
     csb_panic("bad fault site");

@@ -37,6 +37,14 @@ enum class FaultSite : unsigned
     WireDrop,      ///< NI wire loses the packet in flight
     WireCorrupt,   ///< NI wire flips payload bits (checksum catches it)
     AckDrop,       ///< NI delivery acknowledgment is lost
+    /**
+     * DEBUG-ONLY model-bug knob: a successful conditional flush's line
+     * is silently discarded instead of being issued to the bus.  This
+     * deliberately VIOLATES the CSB's exactly-once contract; it exists
+     * so the litmus harness (docs/LITMUS.md) can prove it detects and
+     * shrinks real ordering bugs.  Never enable it in experiments.
+     */
+    CsbFlushDrop,
     NumSites,
 };
 
@@ -62,6 +70,15 @@ struct FaultPlan
     double wireCorruptRate = 0;
     /** Probability a delivery acknowledgment is lost. */
     double ackDropRate = 0;
+    /**
+     * Probability a successful conditional flush's line is dropped on
+     * the floor (the FaultSite::CsbFlushDrop debug knob).  Unlike the
+     * other sites this models a hardware BUG, not an environmental
+     * fault: runs with it enabled are expected to FAIL differential
+     * checking.  The litmus harness's self-tests are the only
+     * legitimate user.
+     */
+    double csbFlushDropRate = 0;
 
     /** @return the rate configured for @p site. */
     double rate(FaultSite site) const;
@@ -74,6 +91,9 @@ struct FaultPlan
 
     /** @return true when any NI-wire site has a nonzero rate. */
     bool wireFaultsEnabled() const;
+
+    /** @return true when the CsbFlushDrop debug knob is armed. */
+    bool csbBugEnabled() const;
 
     /** Throws FatalError when a rate is outside [0, 1]. */
     void validate() const;
@@ -118,6 +138,7 @@ class FaultInjector : public stats::StatGroup
     stats::Scalar wireDrops;
     stats::Scalar wireCorruptions;
     stats::Scalar ackDrops;
+    stats::Scalar csbFlushDrops;
 
   private:
     stats::Scalar &counterFor(FaultSite site);

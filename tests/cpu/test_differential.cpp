@@ -1,9 +1,10 @@
 /**
  * @file
  * Differential testing: random programs run on both the sequential
- * reference interpreter and the full out-of-order core; final
- * architectural state and memory must match bit-for-bit, no matter
- * how the pipeline reorders, forwards and speculates.
+ * reference executor (the same oracle the litmus harness uses, see
+ * docs/LITMUS.md) and the full out-of-order core; final architectural
+ * state and memory must match bit-for-bit, no matter how the pipeline
+ * reorders, forwards and speculates.
  */
 
 #include <gtest/gtest.h>
@@ -11,7 +12,7 @@
 #include <vector>
 
 #include "core/system.hh"
-#include "cpu/interpreter.hh"
+#include "cpu/reference_executor.hh"
 #include "isa/program.hh"
 #include "sim/random.hh"
 
@@ -166,9 +167,10 @@ TEST_P(Differential, CoreMatchesReferenceInterpreter)
     isa::Program program = randomProgram(GetParam(), 300);
 
     // Reference execution.
-    mem::PhysicalMemory ref_memory;
-    cpu::Interpreter interpreter(program, ref_memory);
-    cpu::ArchState ref = interpreter.run();
+    cpu::ReferenceExecutor reference;
+    reference.addContext(&program, /*pid=*/1);
+    reference.run();
+    const cpu::ArchState &ref = reference.state(0);
     ASSERT_TRUE(ref.halted);
 
     // Pipelined execution.
@@ -186,7 +188,7 @@ TEST_P(Differential, CoreMatchesReferenceInterpreter)
 
     std::vector<std::uint8_t> ref_arena(kArenaBytes);
     std::vector<std::uint8_t> got_arena(kArenaBytes);
-    ref_memory.read(kArenaBase, ref_arena.data(), kArenaBytes);
+    reference.memory().read(kArenaBase, ref_arena.data(), kArenaBytes);
     system.memory().read(kArenaBase, got_arena.data(), kArenaBytes);
     EXPECT_EQ(got_arena, ref_arena);
 }
@@ -197,9 +199,10 @@ TEST_P(Differential, NarrowWindowCoreMatchesToo)
     // paths; semantics must be identical.
     isa::Program program = randomProgram(GetParam() ^ 0xabcdef, 150);
 
-    mem::PhysicalMemory ref_memory;
-    cpu::Interpreter interpreter(program, ref_memory);
-    cpu::ArchState ref = interpreter.run();
+    cpu::ReferenceExecutor reference;
+    reference.addContext(&program, /*pid=*/1);
+    reference.run();
+    const cpu::ArchState &ref = reference.state(0);
 
     SystemConfig cfg;
     cfg.core.windowSize = 4;
@@ -217,7 +220,7 @@ TEST_P(Differential, NarrowWindowCoreMatchesToo)
             << "%r" << r;
     std::vector<std::uint8_t> ref_arena(kArenaBytes);
     std::vector<std::uint8_t> got_arena(kArenaBytes);
-    ref_memory.read(kArenaBase, ref_arena.data(), kArenaBytes);
+    reference.memory().read(kArenaBase, ref_arena.data(), kArenaBytes);
     system.memory().read(kArenaBase, got_arena.data(), kArenaBytes);
     EXPECT_EQ(got_arena, ref_arena);
 }

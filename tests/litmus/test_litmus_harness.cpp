@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Harness: report determinism across jobs, spec derivation, and
+ * corpus replay against the checked-in regression entries
+ * (docs/LITMUS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/harness.hh"
+
+namespace csb::litmus {
+namespace {
+
+TEST(LitmusHarness, SpecDerivationIsDeterministic)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        std::vector<RunSpec> a = specsForSeed(seed, false, 0);
+        std::vector<RunSpec> b = specsForSeed(seed, false, 0);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_EQ(a.size(), 3u); // one spec per scheme
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].name(), b[i].name());
+            EXPECT_EQ(a[i].quantum, b[i].quantum);
+            EXPECT_EQ(a[i].faultSeed, b[i].faultSeed);
+        }
+        // Quantum stays in the convergence-friendly band.
+        EXPECT_GE(a[0].quantum, 120u);
+        EXPECT_LE(a[0].quantum, 400u);
+        EXPECT_NE(a[0].faultSeed, 0u);
+    }
+}
+
+TEST(LitmusHarness, ReportIsIdenticalAcrossJobs)
+{
+    HarnessOptions opts;
+    opts.firstSeed = 1;
+    opts.numSeeds = 12;
+    opts.jobs = 1;
+    HarnessResult serial = runHarness(opts);
+    opts.jobs = 4;
+    HarnessResult pooled = runHarness(opts);
+    EXPECT_EQ(serial.report, pooled.report);
+    EXPECT_EQ(serial.seedsRun, pooled.seedsRun);
+    EXPECT_EQ(serial.seedsFailed, pooled.seedsFailed);
+    EXPECT_EQ(serial.seedsRun, 12u);
+    EXPECT_EQ(serial.seedsFailed, 0u);
+}
+
+TEST(LitmusHarness, DropFlushSweepFindsAndBoundsFailures)
+{
+    HarnessOptions opts;
+    opts.firstSeed = 1;
+    opts.numSeeds = 3;
+    opts.dropFlushRate = 1.0;
+    HarnessResult result = runHarness(opts);
+    EXPECT_GT(result.seedsFailed, 0u);
+    EXPECT_GT(result.maxShrunkInstructions, 0u);
+    EXPECT_LE(result.maxShrunkInstructions, 20u);
+}
+
+TEST(LitmusHarness, CorpusReplays)
+{
+    std::string dir =
+        std::string(CSBSIM_SOURCE_DIR) + "/tests/litmus/corpus";
+    CorpusResult corpus = replayCorpus(dir);
+    EXPECT_EQ(corpus.failures, 0u) << corpus.report;
+    EXPECT_GE(corpus.entries, 5u);
+}
+
+TEST(LitmusHarness, MissingCorpusDirectoryIsAFailure)
+{
+    CorpusResult corpus = replayCorpus("/nonexistent/litmus/corpus");
+    EXPECT_EQ(corpus.entries, 0u);
+    EXPECT_EQ(corpus.failures, 1u);
+}
+
+} // namespace
+} // namespace csb::litmus

@@ -1,0 +1,23 @@
+# Test driver for the litmus_jobs_identical ctest entry: the same seed
+# sweep run serially (--jobs 1) and on the worker pool (--jobs 4) must
+# print a byte-identical report -- the executable statement of the
+# harness's determinism contract (docs/LITMUS.md).  Invoked as
+#   cmake -DLITMUS=... -DOUT_DIR=... -P this
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND ${LITMUS} --first-seed 1 --seeds 32 --jobs ${jobs}
+        RESULT_VARIABLE litmus_rc
+        OUTPUT_FILE ${OUT_DIR}/litmus_jobs${jobs}.txt
+        ERROR_QUIET)
+    if(NOT litmus_rc EQUAL 0)
+        message(FATAL_ERROR
+                "${LITMUS} --jobs ${jobs} failed (rc=${litmus_rc})")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT_DIR}/litmus_jobs1.txt ${OUT_DIR}/litmus_jobs4.txt
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "--jobs 1 and --jobs 4 reports differ")
+endif()
