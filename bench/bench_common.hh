@@ -240,6 +240,17 @@ class JsonReport
         }
     }
 
+    /**
+     * Attach a flat name -> number scorecard to the artifact,
+     * emitted as a top-level "scorecard" object (used by the
+     * robustness benches; see tools/bench_schema.json).
+     */
+    void
+    setScorecard(std::vector<std::pair<std::string, double>> entries)
+    {
+        scorecard_ = std::move(entries);
+    }
+
   private:
     struct Row
     {
@@ -295,6 +306,15 @@ class JsonReport
             jw.endObject();
         }
         jw.endArray();
+        if (!scorecard_.empty()) {
+            jw.key("scorecard");
+            jw.beginObject();
+            for (const auto &[key, value] : scorecard_) {
+                jw.key(key);
+                jw.value(value);
+            }
+            jw.endObject();
+        }
         jw.kv("rendered", rendered_);
         jw.endObject();
         os << "\n";
@@ -304,6 +324,7 @@ class JsonReport
     std::string path_;
     std::string rendered_;
     std::vector<Table> tables_;
+    std::vector<std::pair<std::string, double>> scorecard_;
 };
 
 /** Register one benchmark per (scheme, size) point of a sweep. */

@@ -5,6 +5,7 @@
 # results are collected by point index, never by completion order.
 # Invoked as
 #   cmake -DBENCH=... -DOUT_DIR=... -P this
+file(MAKE_DIRECTORY ${OUT_DIR})
 foreach(jobs 1 4)
     execute_process(
         COMMAND ${BENCH} --jobs ${jobs}

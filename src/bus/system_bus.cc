@@ -458,10 +458,12 @@ SystemBus::startWrite(Request &req, std::uint64_t c)
     BusStatus preset = BusStatus::Ok;
     if (req.unmapped)
         preset = BusStatus::Error;
-    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError))
+    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError,
+                                                 clockDomain().tickOfCycle(c)))
         preset = BusStatus::Error;
     else if (injector_ &&
-             injector_->shouldFault(sim::FaultSite::BusWriteNack))
+             injector_->shouldFault(sim::FaultSite::BusWriteNack,
+                                    clockDomain().tickOfCycle(c)))
         preset = BusStatus::Nack;
     rec.status = preset;
 
@@ -534,10 +536,12 @@ SystemBus::startRead(Request &req, std::uint64_t c)
     BusStatus preset = BusStatus::Ok;
     if (req.unmapped)
         preset = BusStatus::Error;
-    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError))
+    else if (injector_ && injector_->shouldFault(sim::FaultSite::BusError,
+                                                 clockDomain().tickOfCycle(c)))
         preset = BusStatus::Error;
     else if (injector_ &&
-             injector_->shouldFault(sim::FaultSite::BusReadNack))
+             injector_->shouldFault(sim::FaultSite::BusReadNack,
+                                    clockDomain().tickOfCycle(c)))
         preset = BusStatus::Nack;
     rec.status = preset;
 
@@ -647,6 +651,10 @@ SystemBus::debugDump(std::ostream &os) const
        << " pendingResponses=" << responses_.size()
        << " addrNextFree=" << addrNextFree_ << " curCycle="
        << curBusCycle();
+    if (injector_) {
+        os << '\n';
+        injector_->debugDump(os);
+    }
 }
 
 std::unique_ptr<SystemBus>

@@ -1,0 +1,140 @@
+#include "health.hh"
+
+#include <sstream>
+
+#include "io/network_interface.hh"
+#include "sim/logging.hh"
+#include "system.hh"
+
+namespace csb::core {
+
+void
+HealthParams::validate() const
+{
+    if (period < 1)
+        csb_fatal("health period must be >= 1 tick");
+    if (livenessWindow < period)
+        csb_fatal("liveness window shorter than the check period");
+}
+
+HealthMonitor::HealthMonitor(System &system, HealthParams params)
+    : system_(system), params_(params)
+{
+    params_.validate();
+}
+
+void
+HealthMonitor::arm()
+{
+    csb_assert(!armed_, "health monitor armed twice");
+    armed_ = true;
+    lastSig_ = progressSignature();
+    lastProgressTick_ = system_.simulator().curTick();
+    Tick first = system_.simulator().curTick() + params_.period;
+    system_.simulator().eventQueue().scheduleFunc(first, [this, first] {
+        check(first);
+    });
+}
+
+void
+HealthMonitor::disarm()
+{
+    armed_ = false;
+}
+
+std::uint64_t
+HealthMonitor::progressSignature() const
+{
+    // FNV-1a over every monotone activity counter: any work anywhere
+    // in the machine changes the signature.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    bus::SystemBus &bus = system_.bus();
+    mix(static_cast<std::uint64_t>(bus.numReads.value()));
+    mix(static_cast<std::uint64_t>(bus.numWrites.value()));
+    mix(static_cast<std::uint64_t>(bus.numNacks.value()));
+    for (unsigned cpu = 0; cpu < system_.numCores(); ++cpu) {
+        mix(static_cast<std::uint64_t>(
+            system_.core(cpu).instsRetired.value()));
+        mem::UncachedBuffer &ubuf = system_.uncachedBuffer(cpu);
+        mix(static_cast<std::uint64_t>(ubuf.txnsIssued.value()));
+        mix(static_cast<std::uint64_t>(ubuf.busRetries.value()));
+        if (mem::ConditionalStoreBuffer *csb = system_.csb(cpu)) {
+            mix(static_cast<std::uint64_t>(csb->flushesAttempted.value()));
+            mix(static_cast<std::uint64_t>(csb->busRetries.value()));
+            mix(static_cast<std::uint64_t>(csb->linesIssued.value()));
+        }
+    }
+    if (io::NetworkInterface *ni = system_.ni()) {
+        mix(static_cast<std::uint64_t>(ni->delivered().size()));
+        mix(static_cast<std::uint64_t>(ni->retransmits.value()));
+        mix(static_cast<std::uint64_t>(ni->busRetries.value()));
+        mix(static_cast<std::uint64_t>(ni->linkResets.value()));
+        mix(static_cast<std::uint64_t>(ni->bytesSent.value()));
+    }
+    return h;
+}
+
+void
+HealthMonitor::check(Tick now)
+{
+    if (!armed_)
+        return;
+    ++checks_;
+
+    // Safety: exactly-once delivery.  Scan only the log suffix added
+    // since the previous check.
+    if (io::NetworkInterface *ni = system_.ni()) {
+        const auto &log = ni->delivered();
+        for (; deliveredScanned_ < log.size(); ++deliveredScanned_) {
+            std::uint64_t seq = log[deliveredScanned_].seq;
+            if (!seqsSeen_.insert(seq).second) {
+                std::ostringstream os;
+                os << "seq " << seq << " delivered twice";
+                violations_.push_back(
+                    {now, "duplicate-delivery", os.str()});
+            }
+        }
+    }
+
+    // Safety: CSB flush accounting must balance.
+    for (unsigned cpu = 0; cpu < system_.numCores(); ++cpu) {
+        mem::ConditionalStoreBuffer *csb = system_.csb(cpu);
+        if (!csb)
+            continue;
+        double attempted = csb->flushesAttempted.value();
+        double succeeded = csb->flushesSucceeded.value();
+        double failed = csb->flushesFailed.value();
+        if (attempted != succeeded + failed) {
+            std::ostringstream os;
+            os << "cpu " << cpu << ": attempted " << attempted
+               << " != succeeded " << succeeded << " + failed " << failed;
+            violations_.push_back({now, "flush-accounting", os.str()});
+        }
+    }
+
+    // Liveness: the signature must move while the system is busy.
+    std::uint64_t sig = progressSignature();
+    if (system_.quiescent() || sig != lastSig_) {
+        lastSig_ = sig;
+        lastProgressTick_ = now;
+    } else if (now - lastProgressTick_ >= params_.livenessWindow) {
+        std::ostringstream os;
+        os << "no progress for " << (now - lastProgressTick_)
+           << " ticks while non-quiescent";
+        violations_.push_back({now, "liveness-stall", os.str()});
+        lastProgressTick_ = now; // re-arm, don't spam every period
+    }
+
+    Tick next = now + params_.period;
+    system_.simulator().eventQueue().scheduleFunc(next, [this, next] {
+        check(next);
+    });
+}
+
+} // namespace csb::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Continuously-running health monitor for fault campaigns.
+ *
+ * A campaign must distinguish "the system is riding out injected
+ * adversity" from "the system is wedged or corrupting data".  The
+ * monitor runs as a periodic simulation event alongside the workload
+ * and checks two families of invariants (docs/FAULTS.md):
+ *
+ *  - liveness: while the system is non-quiescent, a signature of
+ *    progress counters (instructions retired, bus traffic, retries,
+ *    wire deliveries) must change within every livenessWindow ticks;
+ *
+ *  - safety: no sequence number may ever appear twice in the NI's
+ *    delivered log (exactly-once delivery), and the CSB's flush
+ *    accounting (attempted == succeeded + failed) must balance.
+ *
+ * Violations are recorded, never thrown: the campaign runner decides
+ * what a violation means for the scorecard.  The monitor is passive --
+ * it reads statistics and component state but perturbs nothing, so an
+ * armed monitor never changes simulated behaviour or timing of the
+ * components themselves (its wake-up events do sit in the event
+ * queue, which is invisible to clock-gated components).
+ */
+
+#ifndef CSB_CORE_HEALTH_HH
+#define CSB_CORE_HEALTH_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace csb::core {
+
+class System;
+
+/** Health-monitor cadence and thresholds. */
+struct HealthParams
+{
+    /** Ticks between checks. */
+    Tick period = 4096;
+    /**
+     * Maximum ticks the progress signature may stay frozen while the
+     * system is non-quiescent before a liveness violation is recorded.
+     * Must comfortably exceed the longest legitimate quiet stretch
+     * (maximum retry backoff, link-reset latency, hang windows).
+     */
+    Tick livenessWindow = 500'000;
+
+    void validate() const;
+};
+
+/** One recorded invariant violation. */
+struct HealthViolation
+{
+    Tick tick = 0;
+    /** "liveness-stall" | "duplicate-delivery" | "flush-accounting" */
+    std::string kind;
+    std::string detail;
+};
+
+/**
+ * The monitor itself.  Construct against a live System, then arm().
+ * The monitor re-arms itself every period until disarm() -- its
+ * pending wake-up never blocks System::run (termination is
+ * predicate-based) or saveCheckpoint (only the restore side demands
+ * an empty event queue, and restores target a fresh system).
+ *
+ * Lifetime: the monitor must outlive any further simulation of the
+ * System it is armed on (its wake-ups capture `this`); destroying the
+ * System first is always safe because the event queue dies with it.
+ */
+class HealthMonitor
+{
+  public:
+    HealthMonitor(System &system, HealthParams params);
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /** Schedule the first check one period from now. */
+    void arm();
+
+    /** Stop checking; pending wake-ups become no-ops. */
+    void disarm();
+
+    const std::vector<HealthViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    std::uint64_t checksRun() const { return checks_; }
+
+  private:
+    void check(Tick now);
+
+    /** Monotone counter tuple folded to one word; change = progress. */
+    std::uint64_t progressSignature() const;
+
+    System &system_;
+    HealthParams params_;
+    bool armed_ = false;
+    std::uint64_t checks_ = 0;
+    std::uint64_t lastSig_ = 0;
+    Tick lastProgressTick_ = 0;
+    /** Delivered-log entries already scanned for duplicate seqs. */
+    std::size_t deliveredScanned_ = 0;
+    std::set<std::uint64_t> seqsSeen_;
+    std::vector<HealthViolation> violations_;
+};
+
+} // namespace csb::core
+
+#endif // CSB_CORE_HEALTH_HH

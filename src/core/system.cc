@@ -57,6 +57,8 @@ System::System(SystemConfig config)
 
     device_ = std::make_unique<io::BurstDevice>(
         config_.deviceReadLatency, config_.deviceMaxAccept, "dev", this);
+    if (injector_)
+        device_->setFaultInjector(injector_.get());
     bus_->addTarget(ioUncachedBase,
                     (ioCsbBase + ioRegionSize) - ioUncachedBase,
                     device_.get());
@@ -424,6 +426,12 @@ configFingerprint(const SystemConfig &c)
         {"tlbMissPenalty", c.tlbMissPenalty},
         {"deviceMaxAccept", c.deviceMaxAccept},
         {"faultsEnabled", c.faults.enabled() ? 1u : 0u},
+        {"faultSchedule", c.faults.schedule.empty()
+                              ? 0u
+                              : c.faults.scheduleFingerprint()},
+        {"csbDegradedFallback",
+         c.enableCsb && c.csb.degradedFallback ? 1u : 0u},
+        {"niLinkReset", c.enableNi && c.ni.linkReset ? 1u : 0u},
     };
 }
 

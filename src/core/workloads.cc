@@ -111,7 +111,65 @@ appendCsbSend(isa::Program &p, unsigned bytes, unsigned line_bytes)
     p.std_(ir(13), ir(14), 0);
 }
 
+/** Append one cache line's worth of stores to the device window. */
+void
+appendDeviceLine(isa::Program &p, unsigned line, unsigned line_bytes,
+                 bool use_csb)
+{
+    unsigned dwords = line_bytes / 8;
+    unsigned base = line * line_bytes;
+    if (use_csb) {
+        isa::Label retry = p.newLabel();
+        p.bind(retry);
+        p.li(ir(9), static_cast<std::int64_t>(dwords));
+        for (unsigned i = 0; i < dwords; ++i)
+            p.std_(ir(2 + i % 7), ir(15), base + i * 8);
+        p.swap(ir(9), ir(15), base);
+        p.li(ir(12), static_cast<std::int64_t>(dwords));
+        p.bne(ir(9), ir(12), retry);
+    } else {
+        for (unsigned i = 0; i < dwords; ++i)
+            p.std_(ir(2 + i % 7), ir(15), base + i * 8);
+    }
+}
+
 } // namespace
+
+isa::Program
+makeMessageProgram(const MessageProgramSpec &spec,
+                   const std::vector<unsigned> &sizes)
+{
+    using isa::ir;
+
+    Addr pio = System::niBase + io::NiMap::pioBase;
+    Addr bell = System::niBase + io::NiMap::doorbell;
+
+    isa::Program p;
+    for (int r = 2; r <= 8; ++r)
+        p.li(ir(r), 0x5a5a5a5a5a5a5a5aULL);
+    p.li(ir(1), static_cast<std::int64_t>(pio));
+    p.li(ir(10), static_cast<std::int64_t>(spec.lockAddr));
+    p.li(ir(14), static_cast<std::int64_t>(bell));
+    if (spec.deviceLines > 0)
+        p.li(ir(15), static_cast<std::int64_t>(System::ioCsbBase));
+    p.mark(0);
+    for (unsigned bytes : sizes) {
+        if (spec.useCsb)
+            appendCsbSend(p, bytes, spec.lineBytes);
+        else
+            appendLockedSend(p, bytes);
+        if (spec.fenceDoorbell)
+            p.membar();
+    }
+    p.mark(1);
+    for (unsigned line = 0; line < spec.deviceLines; ++line)
+        appendDeviceLine(p, line, spec.lineBytes, spec.useCsb);
+    if (spec.deviceLines > 0)
+        p.membar();
+    p.halt();
+    p.finalize();
+    return p;
+}
 
 AppTrafficResult
 runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
@@ -134,38 +192,13 @@ runMessageWorkload(const BandwidthSetup &setup, bool use_csb,
     cfg.normalize();
     System system(cfg);
 
-    constexpr Addr lock_addr = 0x4000;
-    system.caches().touch(lock_addr);
+    MessageProgramSpec pspec;
+    pspec.useCsb = use_csb;
+    pspec.lineBytes = setup.lineBytes;
+    pspec.fenceDoorbell = faults && faults->busFaultsEnabled();
+    system.caches().touch(pspec.lockAddr);
 
-    Addr pio = System::niBase + io::NiMap::pioBase;
-    Addr bell = System::niBase + io::NiMap::doorbell;
-
-    isa::Program p;
-    for (int r = 2; r <= 8; ++r)
-        p.li(ir(r), 0x5a5a5a5a5a5a5a5aULL);
-    p.li(ir(1), static_cast<std::int64_t>(pio));
-    p.li(ir(10), static_cast<std::int64_t>(lock_addr));
-    p.li(ir(14), static_cast<std::int64_t>(bell));
-    // With bus NACKs possible the doorbell must be fenced before the
-    // next message's payload stores: the doorbell and the CSB payload
-    // flush travel on different bus masters, and a NACKed doorbell
-    // replaying after its backoff would otherwise be passed by the
-    // next message's line burst (posted-write ordering, as on real
-    // retrying buses, is software's problem).
-    bool fence_doorbell = faults && faults->busFaultsEnabled();
-    p.mark(0);
-    for (unsigned bytes : message_sizes) {
-        if (use_csb) {
-            appendCsbSend(p, bytes, setup.lineBytes);
-        } else {
-            appendLockedSend(p, bytes);
-        }
-        if (fence_doorbell)
-            p.membar();
-    }
-    p.mark(1);
-    p.halt();
-    p.finalize();
+    isa::Program p = makeMessageProgram(pspec, message_sizes);
 
     system.run(p);
 

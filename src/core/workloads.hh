@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "experiments.hh"
+#include "isa/program.hh"
 #include "sim/fault.hh"
 #include "sim/random.hh"
 
@@ -96,6 +97,40 @@ struct AppTrafficResult
      */
     bool exactlyOnce = false;
 };
+
+/** How a message send loop is materialised as a program. */
+struct MessageProgramSpec
+{
+    /** CSB PIO (lock-free) when true, lock-protected PIO otherwise. */
+    bool useCsb = true;
+    /** CSB line size (group size of the combining send loop). */
+    unsigned lineBytes = 64;
+    /**
+     * membar after every doorbell.  Required when bus faults can NACK:
+     * the doorbell and the payload flush travel on different masters,
+     * and a NACKed doorbell replaying after its backoff would otherwise
+     * be passed by the next message's line burst.
+     */
+    bool fenceDoorbell = false;
+    /** Spin-lock word for the lock-protected PIO path (cached RAM). */
+    Addr lockAddr = 0x4000;
+    /**
+     * Cache lines to write through the device window (uncached-
+     * combining page) after the send loop.  0 = NI traffic only.
+     * Non-zero legs exercise the BurstDevice -- and, under a scheduled
+     * device-hang fault, the CSB's degraded-mode escalation.
+     */
+    unsigned deviceLines = 0;
+};
+
+/**
+ * Build the message-send program runMessageWorkload executes: r2..r8
+ * hold the payload pattern, r1/r10/r14 the PIO window, lock word and
+ * doorbell; mark(0)/mark(1) bracket the send loop.  The program is
+ * finalized and ready for System::run.
+ */
+isa::Program makeMessageProgram(const MessageProgramSpec &spec,
+                                const std::vector<unsigned> &sizes);
 
 /**
  * Send @p message_sizes.size() messages through the NI.

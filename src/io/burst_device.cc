@@ -20,6 +20,17 @@ BurstDevice::BurstDevice(Tick read_latency, unsigned max_accept,
 {
 }
 
+bus::BusStatus
+BurstDevice::accept(const bus::BusTransaction &txn, Tick now)
+{
+    (void)txn;
+    if (injector_ &&
+        injector_->shouldFault(sim::FaultSite::DeviceHang, now)) {
+        return bus::BusStatus::Nack;
+    }
+    return bus::BusStatus::Ok;
+}
+
 void
 BurstDevice::write(const bus::BusTransaction &txn, Tick now)
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bus/bus_target.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace csb::io {
@@ -44,6 +45,16 @@ class BurstDevice : public bus::BusTarget, public sim::stats::StatGroup
 
     const std::string &targetName() const override { return name_; }
 
+    /**
+     * Flow control hook: while the FaultSite::DeviceHang site is
+     * active (a scheduled hang window, docs/FAULTS.md) the device
+     * NACKs every write, so masters exhaust retry budgets and must
+     * recover.  With no injector or no hang configured this is the
+     * always-Ok default.
+     */
+    bus::BusStatus accept(const bus::BusTransaction &txn,
+                          Tick now) override;
+
     void write(const bus::BusTransaction &txn, Tick now) override;
 
     Tick read(const bus::BusTransaction &txn, Tick now,
@@ -54,6 +65,12 @@ class BurstDevice : public bus::BusTarget, public sim::stats::StatGroup
 
     /** Set the value returned by register reads at @p addr. */
     void setRegister(Addr addr, std::uint64_t value);
+
+    /** Attach the system's fault injector (null to detach). */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
 
     /**
      * Serialize the write log and register file so device-side
@@ -71,6 +88,7 @@ class BurstDevice : public bus::BusTarget, public sim::stats::StatGroup
     std::string name_;
     Tick readLatency_;
     unsigned maxAccept_;
+    sim::FaultInjector *injector_ = nullptr;
     std::vector<DeviceWrite> writeLog_;
     std::vector<std::pair<Addr, std::uint64_t>> registers_;
 };

@@ -4,6 +4,7 @@
 
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "sim/trace_json.hh"
 
 namespace csb::io {
@@ -47,6 +48,12 @@ NetworkInterface::NetworkInterface(sim::Simulator &simulator,
                            "duplicate arrivals suppressed at the receiver"),
       checksumDiscards(this, "checksumDiscards",
                        "arrivals discarded for a checksum mismatch"),
+      linkResets(this, "linkResets",
+                 "link resets after send-budget exhaustion"),
+      linkDownTicks(this, "linkDownTicks",
+                    "ticks from first reset to a drained window"),
+      linkRecoveries(this, "linkRecoveries",
+                     "recovery episodes completed after a reset"),
       messageBytes(this, "messageBytes",
                    "payload bytes per message entering the wire",
                    0, 4096, 256),
@@ -194,8 +201,13 @@ NetworkInterface::transmitPacket(std::uint64_t seq, Tick now)
     WirePacket &pkt = it->second;
     ++pkt.attempts;
     if (pkt.attempts > params_.maxSendAttempts) {
-        csb_fatal(name_, ": packet seq=", seq, " undeliverable after ",
-                  params_.maxSendAttempts, " send attempts");
+        if (!params_.linkReset) {
+            csb_fatal(name_, ": packet seq=", seq,
+                      " undeliverable after ", params_.maxSendAttempts,
+                      " send attempts");
+        }
+        performLinkReset(now);
+        return;
     }
 
     Tick start = std::max(now, wireFreeAt_);
@@ -211,10 +223,11 @@ NetworkInterface::transmitPacket(std::uint64_t seq, Tick now)
     // The wire decides the packet's fate the moment it is sent; the
     // sender only ever learns through a (missing) acknowledgment.
     bool dropped =
-        injector_ && injector_->shouldFault(sim::FaultSite::WireDrop);
+        injector_ &&
+        injector_->shouldFault(sim::FaultSite::WireDrop, send_done);
     bool corrupted =
         !dropped && injector_ &&
-        injector_->shouldFault(sim::FaultSite::WireCorrupt);
+        injector_->shouldFault(sim::FaultSite::WireCorrupt, send_done);
 
     if (sim::trace::jsonEnabled()) {
         sim::trace::jsonSpan(
@@ -304,11 +317,64 @@ NetworkInterface::receivePacket(std::uint64_t seq,
 
     // Acknowledge (even duplicates: the earlier ack may have been
     // lost) unless the ack itself is dropped.
-    if (injector_ && injector_->shouldFault(sim::FaultSite::AckDrop))
+    if (injector_ && injector_->shouldFault(sim::FaultSite::AckDrop,
+                                            arrival))
         return;
     sim_.eventQueue().scheduleFunc(
-        arrival + params_.ackLatency,
-        [this, seq] { unacked_.erase(seq); });
+        arrival + params_.ackLatency, [this, seq] {
+            unacked_.erase(seq);
+            if (unacked_.empty() && resetStartTick_ != maxTick) {
+                // The retransmit window drained: the recovery episode
+                // that started at the first link reset is over.
+                linkDownTicks += sim_.curTick() - resetStartTick_;
+                linkRecoveries += 1;
+                resetStartTick_ = maxTick;
+            }
+        });
+}
+
+void
+NetworkInterface::performLinkReset(Tick now)
+{
+    linkResets += 1;
+    if (resetStartTick_ == maxTick)
+        resetStartTick_ = now;
+    sim::trace::log("ni", "link reset at ", now, ", replaying ",
+                    unacked_.size(), " unacked packets");
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonInstant(
+            "ni.wire", "link-reset", now,
+            {{"unacked", std::to_string(unacked_.size())}});
+    }
+
+    // Quiesce: nothing enters the wire until the reset completes.
+    Tick up_at = now + params_.linkResetLatency;
+    wireFreeAt_ = std::max(wireFreeAt_, up_at);
+
+    // Reinit the DMA engine's retry state: NACKed reads restart with
+    // a fresh budget once the link is healthy again.
+    for (DmaRetry &retry : dmaRetries_)
+        retry.attempt = 0;
+
+    // Zeroing attempts disarms every stale retransmit timer (they
+    // check the attempt they were armed with).  The replay below
+    // re-arms fresh ones.
+    for (auto &[seq, pkt] : unacked_)
+        pkt.attempts = 0;
+
+    sim_.eventQueue().scheduleFunc(up_at, [this] {
+        // Replay the retransmit window in sequence order; packets
+        // acked while the link was down have left the map already.
+        // std::map iterates in ascending seq order, but transmits
+        // mutate wireFreeAt_, so collect the seqs first.
+        std::vector<std::uint64_t> seqs;
+        seqs.reserve(unacked_.size());
+        for (const auto &[seq, pkt] : unacked_)
+            seqs.push_back(seq);
+        for (std::uint64_t seq : seqs)
+            transmitPacket(seq, sim_.curTick());
+        sim_.noteProgress();
+    });
 }
 
 void
@@ -483,7 +549,21 @@ NetworkInterface::debugDump(std::ostream &os) const
        << " dmaRetries=" << dmaRetries_.size()
        << " messagesInWire=" << messagesInWire_
        << " unacked=" << unacked_.size()
-       << " delivered=" << delivered_.size();
+       << " delivered=" << delivered_.size()
+       << " wireFreeAt=" << wireFreeAt_;
+    if (resetStartTick_ != maxTick)
+        os << " linkDownSince=" << resetStartTick_;
+    if (!dmaRetries_.empty()) {
+        const DmaRetry &head = dmaRetries_.front();
+        os << "\n  dmaRetry head: addr=0x" << std::hex << head.addr
+           << std::dec << " attempt=" << head.attempt << " earliest="
+           << head.earliest;
+    }
+    for (const auto &[seq, pkt] : unacked_) {
+        os << "\n  unacked seq=" << seq << " attempts=" << pkt.attempts
+           << '/' << params_.maxSendAttempts << " firstSend="
+           << pkt.firstSendTick;
+    }
 }
 
 } // namespace csb::io

@@ -101,6 +101,17 @@ struct NetworkInterfaceParams
     Tick retransmitTimeout = 4096;
     /** Send attempts per packet before giving up fatally. */
     unsigned maxSendAttempts = 16;
+    /**
+     * Recovery protocol (docs/FAULTS.md): when a packet exhausts its
+     * send budget, instead of a fatal error the NI declares the link
+     * down, quiesces the wire for linkResetLatency ticks, reinits the
+     * DMA retry engine, and replays every unacknowledged packet from
+     * the retransmit window in sequence order.  Off by default: the
+     * legacy fatal keeps misconfigured runs loud.
+     */
+    bool linkReset = false;
+    /** Ticks the wire stays quiesced during a link reset. */
+    Tick linkResetLatency = 2048;
     /** Backoff schedule for DMA reads NACKed on the bus. */
     bus::RetryPolicy retry;
 };
@@ -186,6 +197,12 @@ class NetworkInterface : public bus::BusTarget,
     sim::stats::Scalar duplicatesSuppressed;
     /** Arrivals discarded for a checksum mismatch. */
     sim::stats::Scalar checksumDiscards;
+    /** Link resets performed after send-budget exhaustion. */
+    sim::stats::Scalar linkResets;
+    /** Ticks from first link reset to the window draining empty. */
+    sim::stats::Scalar linkDownTicks;
+    /** Recovery episodes completed (window drained after a reset). */
+    sim::stats::Scalar linkRecoveries;
     /** Payload size of each message entering the wire. */
     sim::stats::Distribution messageBytes;
 
@@ -239,6 +256,13 @@ class NetworkInterface : public bus::BusTarget,
                        Tick arrival, bool via_dma);
     void issueDmaRead(Addr addr, unsigned size, unsigned offset,
                       unsigned attempt);
+    /**
+     * Link-down recovery: quiesce the wire, reinit the DMA retry
+     * engine, zero every unacked packet's attempt count (disarming
+     * stale retransmit timers), and replay the retransmit window in
+     * sequence order once the wire comes back.
+     */
+    void performLinkReset(Tick now);
 
     sim::Simulator &sim_;
     bus::SystemBus &bus_;
@@ -263,6 +287,12 @@ class NetworkInterface : public bus::BusTarget,
     std::map<std::uint64_t, WirePacket> unacked_;
     /** Receiver: sequence numbers already delivered (dup filter). */
     std::set<std::uint64_t> deliveredSeqs_;
+    /**
+     * First link reset of the current recovery episode, or maxTick
+     * when the link is healthy.  Transient: checkpoints require an
+     * idle NI, and an empty retransmit window closes the episode.
+     */
+    Tick resetStartTick_ = maxTick;
 };
 
 } // namespace csb::io

@@ -38,6 +38,11 @@ runDirective(const RunSpec &spec)
        << " faults=" << (spec.faults ? 1 : 0)
        << " fault-seed=" << spec.faultSeed
        << " drop-flush=" << spec.dropFlushRate;
+    // Schedule specs contain no whitespace, so key=value parsing
+    // round-trips; omitted entirely when empty so pre-schedule corpus
+    // entries render unchanged.
+    if (!spec.schedule.empty())
+        os << " schedule=" << spec.schedule;
     return os.str();
 }
 
@@ -89,6 +94,8 @@ parseRunDirective(const std::string &line)
             spec.faultSeed = std::stoull(val, nullptr, 0);
         } else if (key == "drop-flush") {
             spec.dropFlushRate = std::stod(val);
+        } else if (key == "schedule") {
+            spec.schedule = val;
         } else {
             csb_fatal("litmus corpus: unknown run field '", key, "'");
         }
@@ -201,7 +208,8 @@ checkSeed(std::uint64_t seed, const HarnessOptions &opts)
     TestCase tc = generate(seed, gen);
 
     std::vector<RunSpec> specs =
-        specsForSeed(seed, opts.fullMatrix, opts.dropFlushRate);
+        specsForSeed(seed, opts.fullMatrix, opts.dropFlushRate,
+                     opts.faultSchedule);
 
     std::ostringstream os;
     const RunSpec *first_fail = nullptr;
@@ -254,23 +262,29 @@ checkSeed(std::uint64_t seed, const HarnessOptions &opts)
 } // namespace
 
 std::vector<RunSpec>
-specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate)
+specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate,
+             const std::string &fault_schedule)
 {
     unsigned contexts = contextsForSeed(seed);
     constexpr Scheme kSchemes[] = {Scheme::Pio, Scheme::Dma, Scheme::Csb};
 
     std::vector<RunSpec> specs;
     if (full_matrix) {
+        // Fault flavors: clean, uniform 1% NACKs, scheduled burst
+        // (the third axis collapses when no schedule is configured).
+        int fault_modes = fault_schedule.empty() ? 2 : 3;
         Tick quantum = 120 + Tick(seed % 280);
         for (Scheme scheme : kSchemes) {
             for (int sched = 0; sched < (contexts > 1 ? 2 : 1);
                  ++sched) {
-                for (int faults = 0; faults < 2; ++faults) {
+                for (int fmode = 0; fmode < fault_modes; ++fmode) {
                     RunSpec spec;
                     spec.scheme = scheme;
                     spec.mode = sched ? CtxMode::Sched : CtxMode::Smp;
                     spec.quantum = quantum;
-                    spec.faults = faults != 0;
+                    spec.faults = fmode == 1;
+                    if (fmode == 2)
+                        spec.schedule = fault_schedule;
                     spec.faultSeed = (seed ^ 0x7a017a01u) | 1;
                     spec.dropFlushRate = drop_flush_rate;
                     specs.push_back(spec);
@@ -282,17 +296,21 @@ specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate)
 
     // Sampled matrix: one concurrency/fault shape per seed, every
     // scheme.  Drawn from a private stream so the generator's own
-    // draws stay untouched.
+    // draws stay untouched.  The schedule draw comes last so seeds
+    // keep their pre-schedule concurrency/fault shapes.
     sim::Random rng(seed ^ 0x5bec5bec5bec5becULL);
     bool sched = contexts > 1 && rng.chance(0.5);
     Tick quantum = 120 + Tick(rng.uniform(0, 280));
     bool faults = rng.uniform(0, 3) == 0;
+    bool scheduled = !fault_schedule.empty() && rng.uniform(0, 3) == 0;
     for (Scheme scheme : kSchemes) {
         RunSpec spec;
         spec.scheme = scheme;
         spec.mode = sched ? CtxMode::Sched : CtxMode::Smp;
         spec.quantum = quantum;
         spec.faults = faults;
+        if (scheduled)
+            spec.schedule = fault_schedule;
         spec.faultSeed = (seed ^ 0x7a017a01u) | 1;
         spec.dropFlushRate = drop_flush_rate;
         specs.push_back(spec);

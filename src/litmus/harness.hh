@@ -32,6 +32,17 @@
 
 namespace csb::litmus {
 
+/**
+ * Schedule the scheduled-fault matrix axis runs by default: a
+ * 25%/10% write/read-NACK burst window covering the start of every
+ * case (litmus runs begin at tick 0 and finish within a few thousand
+ * ticks).  The rates are far above the uniform 1% axis but inside
+ * the retry budget, so clean hardware must still converge.
+ */
+inline constexpr char kDefaultFaultSchedule[] =
+    "burst:bus-write-nack:100..4000:0.25;"
+    "burst:bus-read-nack:100..4000:0.1";
+
 struct HarnessOptions
 {
     std::uint64_t firstSeed = 1;
@@ -49,6 +60,11 @@ struct HarnessOptions
     bool fullMatrix = false;
     /** Arm the CsbFlushDrop bug knob on every spec (self-test). */
     double dropFlushRate = 0;
+    /**
+     * Fault schedule driven by the matrix's scheduled-fault axis
+     * (docs/FAULTS.md grammar); empty disables the axis.
+     */
+    std::string faultSchedule = kDefaultFaultSchedule;
     /** Shrink failing cases before reporting. */
     bool shrinkFailures = true;
     /** When set, write seed_<N>.litmus/.csbt repros here. */
@@ -71,8 +87,9 @@ struct HarnessResult
 };
 
 /** The hardware matrix seed @p seed is checked against. */
-std::vector<RunSpec> specsForSeed(std::uint64_t seed, bool full_matrix,
-                                  double drop_flush_rate);
+std::vector<RunSpec>
+specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate,
+             const std::string &fault_schedule = kDefaultFaultSchedule);
 
 /** Run the seeded sweep. */
 HarnessResult runHarness(const HarnessOptions &opts);

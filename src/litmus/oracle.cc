@@ -7,6 +7,7 @@
 
 #include "core/system.hh"
 #include "cpu/reference_executor.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace csb::litmus {
@@ -44,6 +45,8 @@ RunSpec::name() const
         os << "(q=" << quantum << ")";
     if (faults)
         os << "/faults";
+    if (!schedule.empty())
+        os << "/scheduled";
     if (dropFlushRate > 0)
         os << "/drop-flush";
     return os.str();
@@ -82,6 +85,10 @@ configFor(const RunSpec &spec, unsigned contexts)
         cfg.faults.seed = spec.faultSeed;
         cfg.faults.busWriteNackRate = 0.01;
         cfg.faults.busReadNackRate = 0.01;
+    }
+    if (!spec.schedule.empty()) {
+        cfg.faults.seed = spec.faultSeed;
+        cfg.faults.schedule = sim::parseFaultSchedule(spec.schedule);
     }
     if (spec.dropFlushRate > 0) {
         cfg.faults.seed = spec.faultSeed;
@@ -324,7 +331,8 @@ runCase(const TestCase &tc, const RunSpec &spec,
         // Combining schemes merge legally; fault injection reorders
         // nothing (the retry queue preserves per-master order) but
         // keep the check on clean runs only, where the claim is exact.
-        if (spec.scheme == Scheme::Pio && !spec.faults) {
+        if (spec.scheme == Scheme::Pio && !spec.faults &&
+            spec.schedule.empty()) {
             for (std::size_t c = 0; c < contexts; ++c) {
                 Addr lo = uncachedWindow(c);
                 Addr hi = lo + 0x1000;

@@ -64,6 +64,12 @@ struct RunSpec
     bool faults = false;
     std::uint64_t faultSeed = 1;
     /**
+     * Scheduled-fault axis: a fault-schedule spec (docs/FAULTS.md
+     * grammar) layered on top of the uniform rates; empty = none.
+     * Composes with `faults`.
+     */
+    std::string schedule;
+    /**
      * DEBUG bug knob: probability a successful conditional flush's
      * line is dropped (FaultSite::CsbFlushDrop).  Non-zero runs are
      * expected to FAIL -- the harness's self-test of itself.

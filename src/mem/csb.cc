@@ -19,6 +19,8 @@ CsbParams::validate() const
     }
     if (numLineBuffers < 1 || numLineBuffers > 4)
         csb_fatal("CSB supports 1..4 line buffers, got ", numLineBuffers);
+    if (degradedFallback && repromoteAfter < 1)
+        csb_fatal("CSB degraded fallback needs repromoteAfter >= 1");
 }
 
 ConditionalStoreBuffer::ConditionalStoreBuffer(
@@ -40,6 +42,12 @@ ConditionalStoreBuffer::ConditionalStoreBuffer(
       busNacks(this, "busNacks", "flush writes NACKed on the bus"),
       busRetries(this, "busRetries",
                  "NACKed flush writes reissued after backoff"),
+      degradedEntries(this, "degradedEntries",
+                      "retry exhaustions escalated to degraded mode"),
+      repromotions(this, "repromotions",
+                   "re-promotions to burst mode after clean flushes"),
+      degradedTicks(this, "degradedTicks",
+                    "ticks spent in degraded (PIO fallback) mode"),
       fillAtFlush(this, "fillAtFlush",
                   "valid bytes in the line at a successful flush",
                   0, params.lineBytes, 8),
@@ -146,7 +154,8 @@ ConditionalStoreBuffer::conditionalFlush(ProcId pid, Addr addr,
     // exactly this class of bug, so the drop happens after all the
     // success bookkeeping a real buggy implementation would also do.
     if (injector_ &&
-        injector_->shouldFault(sim::FaultSite::CsbFlushDrop)) {
+        injector_->shouldFault(sim::FaultSite::CsbFlushDrop,
+                               sim_.curTick())) {
         sim::trace::log("csb", "flush line DROPPED (debug bug knob) "
                         "pid=", pid, " line=0x", std::hex, line);
     } else {
@@ -224,8 +233,18 @@ ConditionalStoreBuffer::tick()
 
     OutLine &head = outbox_.front();
 
-    if (params_.partialFlush && headChunks_.empty() &&
-        head.valid.count() != params_.lineBytes) {
+    if (degraded_ && headChunks_.empty()) {
+        // Degraded mode: the device is refusing bursts, so fall back
+        // to the PIO path -- decomposed <= 8-byte aligned stores of
+        // the valid bytes (docs/FAULTS.md).
+        for (const Chunk &chunk :
+             decomposeAligned(head.addr, head.valid, params_.lineBytes,
+                              /*max_chunk=*/8)) {
+            headChunks_.push_back(chunk);
+        }
+        csb_assert(!headChunks_.empty(), "flushed an empty line");
+    } else if (params_.partialFlush && headChunks_.empty() &&
+               head.valid.count() != params_.lineBytes) {
         // Relaxed mode: issue only the valid bytes.
         for (const Chunk &chunk :
              decomposeAligned(head.addr, head.valid, params_.lineBytes,
@@ -238,7 +257,9 @@ ConditionalStoreBuffer::tick()
     Addr txn_addr;
     unsigned txn_size;
     bool last_chunk;
-    if (params_.partialFlush && !headChunks_.empty()) {
+    // Drain pending chunks unconditionally: a re-promotion mid-line
+    // must not re-issue already-sent bytes as a fresh full burst.
+    if (!headChunks_.empty()) {
         txn_addr = headChunks_.front().addr;
         txn_size = headChunks_.front().size;
         headChunks_.pop_front();
@@ -276,23 +297,35 @@ ConditionalStoreBuffer::issueWrite(Addr addr,
          attempt](Tick when, bus::BusStatus status) mutable {
             csb_assert(inflight_ > 0, "CSB completion underflow");
             --inflight_;
-            if (status == bus::BusStatus::Ok)
+            if (status == bus::BusStatus::Ok) {
+                if (degraded_ && ++cleanStreak_ >= params_.repromoteAfter)
+                    exitDegraded(when);
                 return;
+            }
             if (status == bus::BusStatus::Error) {
                 csb_fatal(sim::Clocked::name(),
                           ": bus error on flush write at 0x",
                           std::hex, addr);
             }
             busNacks += 1;
-            if (attempt + 1 >= params_.retry.maxAttempts) {
-                csb_fatal(sim::Clocked::name(),
-                          ": flush retries exhausted (",
-                          params_.retry.maxAttempts, ") at 0x", std::hex,
-                          addr);
+            cleanStreak_ = 0;
+            unsigned next_attempt = attempt + 1;
+            if (next_attempt >= params_.retry.maxAttempts) {
+                if (!params_.degradedFallback) {
+                    csb_fatal(sim::Clocked::name(),
+                              ": flush retries exhausted (",
+                              params_.retry.maxAttempts, ") at 0x",
+                              std::hex, addr);
+                }
+                // Escalate instead of dying: hold the attempt count at
+                // the budget so the chunk keeps retrying at the
+                // maximum backoff until the target recovers.
+                enterDegraded(when);
+                next_attempt = attempt;
             }
             busRetries += 1;
             retryQueue_.push_back(RetryWrite{
-                addr, std::move(keep), last_chunk, attempt + 1,
+                addr, std::move(keep), last_chunk, next_attempt,
                 when + params_.retry.backoffFor(attempt + 1)});
         },
         /*on_start=*/
@@ -304,6 +337,37 @@ ConditionalStoreBuffer::issueWrite(Addr addr,
     csb_assert(accepted, "bus refused CSB request despite idle master");
     presentPending_ = true;
     ++inflight_;
+}
+
+void
+ConditionalStoreBuffer::enterDegraded(Tick now)
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    degradedSince_ = now;
+    cleanStreak_ = 0;
+    degradedEntries += 1;
+    sim::trace::log("csb", "DEGRADED at ", now,
+                    ": flush retry budget exhausted, falling back to "
+                    "PIO stores");
+    if (sim::trace::jsonEnabled())
+        sim::trace::jsonInstant("csb", "degraded-enter", now, {});
+}
+
+void
+ConditionalStoreBuffer::exitDegraded(Tick now)
+{
+    csb_assert(degraded_, "re-promotion outside degraded mode");
+    degraded_ = false;
+    degradedTicks += now - degradedSince_;
+    repromotions += 1;
+    cleanStreak_ = 0;
+    sim::trace::log("csb", "re-promoted to burst mode at ", now,
+                    " after ", params_.repromoteAfter,
+                    " clean completions");
+    if (sim::trace::jsonEnabled())
+        sim::trace::jsonInstant("csb", "degraded-exit", now, {});
 }
 
 void
@@ -325,6 +389,11 @@ ConditionalStoreBuffer::checkpointSave(sim::CheckpointWriter &cw) const
                 bits |= std::uint64_t(1) << bit;
         cw.putU64(bits);
     }
+    // Degraded-mode residency is sticky across a checkpoint: a CSB
+    // that crashed while degraded resumes degraded.
+    cw.putU8(degraded_ ? 1 : 0);
+    cw.putU32(cleanStreak_);
+    cw.putU64(degradedSince_);
 }
 
 void
@@ -350,6 +419,9 @@ ConditionalStoreBuffer::checkpointRestore(sim::CheckpointReader &cr)
             if (bits & (std::uint64_t(1) << bit))
                 valid_.set(word * 64 + bit);
     }
+    degraded_ = cr.getU8() != 0;
+    cleanStreak_ = cr.getU32();
+    degradedSince_ = cr.getU64();
 }
 
 void
@@ -358,7 +430,19 @@ ConditionalStoreBuffer::debugDump(std::ostream &os) const
     os << "counter=" << hitCounter_ << " outbox=" << outbox_.size()
        << " retryQueue=" << retryQueue_.size()
        << " inflight=" << inflight_
-       << " presentPending=" << (presentPending_ ? 1 : 0);
+       << " presentPending=" << (presentPending_ ? 1 : 0)
+       << " degraded=" << (degraded_ ? 1 : 0);
+    if (degraded_) {
+        os << " degradedSince=" << degradedSince_
+           << " cleanStreak=" << cleanStreak_ << '/'
+           << params_.repromoteAfter;
+    }
+    if (!retryQueue_.empty()) {
+        const RetryWrite &head = retryQueue_.front();
+        os << "\n  retry head: addr=0x" << std::hex << head.addr
+           << std::dec << " attempt=" << head.attempt << '/'
+           << params_.retry.maxAttempts << " earliest=" << head.earliest;
+    }
 }
 
 } // namespace csb::mem

@@ -69,6 +69,19 @@ struct CsbParams
     bool partialFlush = false;
     /** Backoff schedule for flush writes NACKed on the bus. */
     bus::RetryPolicy retry;
+    /**
+     * Recovery (docs/FAULTS.md): when a flush chunk exhausts its
+     * retry budget, instead of a fatal error the CSB enters DEGRADED
+     * mode -- the chunk keeps retrying at the maximum backoff, and
+     * while degraded every line is issued as decomposed <= 8-byte
+     * aligned stores (the uncached/PIO fallback path) rather than one
+     * atomic line burst.  After repromoteAfter consecutive clean
+     * completions the CSB re-promotes itself to burst mode.  Off by
+     * default: the legacy fatal keeps misconfigured runs loud.
+     */
+    bool degradedFallback = false;
+    /** Consecutive clean completions required to re-promote. */
+    unsigned repromoteAfter = 8;
 
     void validate() const;
 };
@@ -165,6 +178,12 @@ class ConditionalStoreBuffer : public sim::Clocked,
 
     const CsbParams &params() const { return params_; }
 
+    /** @return true while the PIO-fallback degraded mode is active. */
+    bool degraded() const { return degraded_; }
+
+    /** Tick degraded mode was entered (valid while degraded()). */
+    Tick degradedSince() const { return degradedSince_; }
+
     sim::stats::Scalar storesAccepted;
     sim::stats::Scalar conflictsOnStore;
     sim::stats::Scalar flushesAttempted;
@@ -176,6 +195,12 @@ class ConditionalStoreBuffer : public sim::Clocked,
     sim::stats::Scalar busNacks;
     /** NACKed flush writes reissued after backoff. */
     sim::stats::Scalar busRetries;
+    /** Retry-budget exhaustions that escalated to degraded mode. */
+    sim::stats::Scalar degradedEntries;
+    /** Re-promotions to burst mode after clean completions. */
+    sim::stats::Scalar repromotions;
+    /** Ticks spent in degraded mode (closed episodes only). */
+    sim::stats::Scalar degradedTicks;
     /** Valid bytes in the line register at each successful flush. */
     sim::stats::Distribution fillAtFlush;
 
@@ -198,6 +223,12 @@ class ConditionalStoreBuffer : public sim::Clocked,
     };
 
     void clearAccumulator();
+
+    /** Escalate to degraded mode (idempotent while degraded). */
+    void enterDegraded(Tick now);
+
+    /** Re-promote to burst mode after a clean streak. */
+    void exitDegraded(Tick now);
 
     /**
      * Present one write to the bus.  The CSB keeps its own copy of the
@@ -235,6 +266,11 @@ class ConditionalStoreBuffer : public sim::Clocked,
     std::deque<RetryWrite> retryQueue_;
     bool presentPending_ = false;
     unsigned inflight_ = 0;
+
+    // Degraded-mode (PIO fallback) state, docs/FAULTS.md.
+    bool degraded_ = false;
+    unsigned cleanStreak_ = 0;
+    Tick degradedSince_ = 0;
 };
 
 } // namespace csb::mem

@@ -402,6 +402,13 @@ UncachedBuffer::debugDump(std::ostream &os) const
     os << "entries=" << entries_.size() << " retries=" << retries_.size()
        << " inflightStores=" << inflightStores_
        << " inflightLoads=" << inflightLoads_;
+    if (!retries_.empty()) {
+        const PendingRetry &head = retries_.front();
+        os << "\n  retry head: " << (head.isWrite ? "store" : "load")
+           << " addr=0x" << std::hex << head.addr << std::dec
+           << " attempt=" << head.attempt << '/'
+           << params_.retry.maxAttempts << " earliest=" << head.earliest;
+    }
 }
 
 } // namespace csb::mem

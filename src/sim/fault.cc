@@ -1,5 +1,10 @@
 #include "fault.hh"
 
+#include <cctype>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
 #include "checkpoint.hh"
 #include "logging.hh"
 
@@ -16,9 +21,268 @@ faultSiteName(FaultSite site)
       case FaultSite::WireCorrupt: return "wire-corrupt";
       case FaultSite::AckDrop: return "ack-drop";
       case FaultSite::CsbFlushDrop: return "csb-flush-drop";
+      case FaultSite::DeviceHang: return "device-hang";
       case FaultSite::NumSites: break;
     }
     return "?";
+}
+
+FaultSite
+faultSiteFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(FaultSite::NumSites);
+         ++i) {
+        FaultSite site = static_cast<FaultSite>(i);
+        if (name == faultSiteName(site))
+            return site;
+    }
+    csb_fatal("unknown fault site '", name, "'");
+}
+
+double
+FaultScheduleEntry::contributionAt(Tick now) const
+{
+    switch (kind) {
+      case Kind::Burst:
+        return (now >= start && now < end) ? rate : 0.0;
+      case Kind::Brownout:
+        if (now < start || now >= end)
+            return 0.0;
+        return ((now - start) % period) < onTicks ? rate : 0.0;
+      case Kind::OneShot:
+        // Stateful: handled by the injector's fired flags.
+        return 0.0;
+      case Kind::Storm: {
+        if (now < start || now >= end)
+            return 0.0;
+        double r = rate;
+        for (Tick n = (now - start) / period; n > 0 && r < 1.0; --n)
+            r *= multiplier;
+        return r < 1.0 ? r : 1.0;
+      }
+    }
+    return 0.0;
+}
+
+void
+FaultScheduleEntry::validate() const
+{
+    const char *site_name = faultSiteName(site);
+    if (kind != Kind::OneShot && end <= start) {
+        csb_fatal("fault schedule entry for ", site_name,
+                  ": window end ", end, " must exceed start ", start);
+    }
+    if (kind != Kind::OneShot && (rate <= 0.0 || rate > 1.0)) {
+        csb_fatal("fault schedule entry for ", site_name,
+                  ": rate must be in (0,1], got ", rate);
+    }
+    if (kind == Kind::Brownout &&
+        (period == 0 || onTicks == 0 || onTicks > period)) {
+        csb_fatal("fault schedule brownout for ", site_name,
+                  ": need 0 < on <= period, got on ", onTicks,
+                  " period ", period);
+    }
+    if (kind == Kind::Storm && (period == 0 || multiplier < 1.0)) {
+        csb_fatal("fault schedule storm for ", site_name,
+                  ": need period > 0 and multiplier >= 1, got period ",
+                  period, " multiplier ", multiplier);
+    }
+}
+
+namespace {
+
+std::string
+formatRate(double r)
+{
+    std::ostringstream os;
+    os << r;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+FaultScheduleEntry::spec() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Burst:
+        os << "burst:" << faultSiteName(site) << ':' << start << ".."
+           << end << ':' << formatRate(rate);
+        break;
+      case Kind::Brownout:
+        os << "brownout:" << faultSiteName(site) << ':' << start << ".."
+           << end << ':' << period << '/' << onTicks << ':'
+           << formatRate(rate);
+        break;
+      case Kind::OneShot:
+        os << "oneshot:" << faultSiteName(site) << ':' << start;
+        break;
+      case Kind::Storm:
+        os << "storm:" << faultSiteName(site) << ':' << start << ".."
+           << end << ':' << formatRate(rate) << 'x'
+           << formatRate(multiplier) << '/' << period;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+faultScheduleSpec(const std::vector<FaultScheduleEntry> &schedule)
+{
+    std::string out;
+    for (const FaultScheduleEntry &e : schedule) {
+        if (!out.empty())
+            out += ';';
+        out += e.spec();
+    }
+    return out;
+}
+
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (true) {
+        std::size_t at = text.find(sep, begin);
+        if (at == std::string::npos) {
+            parts.push_back(text.substr(begin));
+            return parts;
+        }
+        parts.push_back(text.substr(begin, at - begin));
+        begin = at + 1;
+    }
+}
+
+Tick
+parseTick(const std::string &text, const std::string &clause)
+{
+    Tick value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(),
+                                     text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        csb_fatal("fault schedule clause '", clause,
+                  "': bad tick count '", text, "'");
+    }
+    return value;
+}
+
+double
+parseRate(const std::string &text, const std::string &clause)
+{
+    try {
+        std::size_t used = 0;
+        double value = std::stod(text, &used);
+        if (used == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    csb_fatal("fault schedule clause '", clause, "': bad rate '", text,
+              "'");
+}
+
+/** Parse "A..B" into a [start, end) window. */
+std::pair<Tick, Tick>
+parseWindow(const std::string &text, const std::string &clause)
+{
+    std::size_t dots = text.find("..");
+    if (dots == std::string::npos) {
+        csb_fatal("fault schedule clause '", clause,
+                  "': expected start..end window, got '", text, "'");
+    }
+    return {parseTick(text.substr(0, dots), clause),
+            parseTick(text.substr(dots + 2), clause)};
+}
+
+void
+requireFields(const std::vector<std::string> &fields, std::size_t n,
+              const std::string &clause)
+{
+    if (fields.size() != n) {
+        csb_fatal("fault schedule clause '", clause, "': expected ", n,
+                  " ':'-separated fields, got ", fields.size());
+    }
+}
+
+} // namespace
+
+std::vector<FaultScheduleEntry>
+parseFaultSchedule(const std::string &spec)
+{
+    std::vector<FaultScheduleEntry> schedule;
+    for (const std::string &clause : splitOn(spec, ';')) {
+        if (clause.empty())
+            continue;
+        std::vector<std::string> f = splitOn(clause, ':');
+        const std::string &kind = f.front();
+        FaultScheduleEntry e;
+        if (kind == "burst") {
+            requireFields(f, 4, clause);
+            e.kind = FaultScheduleEntry::Kind::Burst;
+            e.site = faultSiteFromName(f[1]);
+            std::tie(e.start, e.end) = parseWindow(f[2], clause);
+            e.rate = parseRate(f[3], clause);
+        } else if (kind == "brownout") {
+            requireFields(f, 5, clause);
+            e.kind = FaultScheduleEntry::Kind::Brownout;
+            e.site = faultSiteFromName(f[1]);
+            std::tie(e.start, e.end) = parseWindow(f[2], clause);
+            std::vector<std::string> duty = splitOn(f[3], '/');
+            requireFields(duty, 2, clause);
+            e.period = parseTick(duty[0], clause);
+            e.onTicks = parseTick(duty[1], clause);
+            e.rate = parseRate(f[4], clause);
+        } else if (kind == "oneshot") {
+            requireFields(f, 3, clause);
+            e.kind = FaultScheduleEntry::Kind::OneShot;
+            e.site = faultSiteFromName(f[1]);
+            e.start = parseTick(f[2], clause);
+        } else if (kind == "storm") {
+            // storm:<site>:<start>..<end>:<rate>x<mult>/<period>
+            requireFields(f, 4, clause);
+            e.kind = FaultScheduleEntry::Kind::Storm;
+            e.site = faultSiteFromName(f[1]);
+            std::tie(e.start, e.end) = parseWindow(f[2], clause);
+            std::size_t x = f[3].find('x');
+            std::size_t slash = f[3].find('/', x == std::string::npos
+                                                     ? 0 : x + 1);
+            if (x == std::string::npos || slash == std::string::npos) {
+                csb_fatal("fault schedule clause '", clause,
+                          "': expected rate0xMULT/period, got '", f[3],
+                          "'");
+            }
+            e.rate = parseRate(f[3].substr(0, x), clause);
+            e.multiplier =
+                parseRate(f[3].substr(x + 1, slash - x - 1), clause);
+            e.period = parseTick(f[3].substr(slash + 1), clause);
+        } else if (kind == "hang") {
+            // Sugar: the device stops accepting for a window.
+            requireFields(f, 2, clause);
+            e.kind = FaultScheduleEntry::Kind::Burst;
+            e.site = FaultSite::DeviceHang;
+            std::tie(e.start, e.end) = parseWindow(f[1], clause);
+            e.rate = 1.0;
+        } else if (kind == "flap") {
+            // Sugar: the NI link goes down for a window -- every
+            // packet and every ack in flight is lost.
+            requireFields(f, 2, clause);
+            e.kind = FaultScheduleEntry::Kind::Burst;
+            e.site = FaultSite::WireDrop;
+            std::tie(e.start, e.end) = parseWindow(f[1], clause);
+            e.rate = 1.0;
+            schedule.push_back(e);
+            e.site = FaultSite::AckDrop;
+        } else {
+            csb_fatal("fault schedule clause '", clause,
+                      "': unknown kind '", kind, "'");
+        }
+        e.validate();
+        schedule.push_back(e);
+    }
+    return schedule;
 }
 
 double
@@ -32,9 +296,20 @@ FaultPlan::rate(FaultSite site) const
       case FaultSite::WireCorrupt: return wireCorruptRate;
       case FaultSite::AckDrop: return ackDropRate;
       case FaultSite::CsbFlushDrop: return csbFlushDropRate;
+      case FaultSite::DeviceHang: return deviceHangRate;
       case FaultSite::NumSites: break;
     }
     return 0;
+}
+
+bool
+FaultPlan::scheduled(FaultSite site) const
+{
+    for (const FaultScheduleEntry &e : schedule) {
+        if (e.site == site)
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -46,19 +321,40 @@ FaultPlan::enabled() const
 bool
 FaultPlan::csbBugEnabled() const
 {
-    return csbFlushDropRate > 0;
+    return csbFlushDropRate > 0 || scheduled(FaultSite::CsbFlushDrop);
 }
 
 bool
 FaultPlan::busFaultsEnabled() const
 {
-    return busWriteNackRate > 0 || busReadNackRate > 0 || busErrorRate > 0;
+    return busWriteNackRate > 0 || busReadNackRate > 0 ||
+           busErrorRate > 0 || deviceHangRate > 0 ||
+           scheduled(FaultSite::BusWriteNack) ||
+           scheduled(FaultSite::BusReadNack) ||
+           scheduled(FaultSite::BusError) ||
+           scheduled(FaultSite::DeviceHang);
 }
 
 bool
 FaultPlan::wireFaultsEnabled() const
 {
-    return wireDropRate > 0 || wireCorruptRate > 0 || ackDropRate > 0;
+    return wireDropRate > 0 || wireCorruptRate > 0 || ackDropRate > 0 ||
+           scheduled(FaultSite::WireDrop) ||
+           scheduled(FaultSite::WireCorrupt) ||
+           scheduled(FaultSite::AckDrop);
+}
+
+std::uint64_t
+FaultPlan::scheduleFingerprint() const
+{
+    // FNV-1a over the rendered spec: stable across builds, sensitive
+    // to every entry field.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : faultScheduleSpec(schedule)) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
 void
@@ -73,6 +369,8 @@ FaultPlan::validate() const
                       " must be in [0,1], got ", r);
         }
     }
+    for (const FaultScheduleEntry &e : schedule)
+        e.validate();
 }
 
 namespace {
@@ -98,6 +396,8 @@ FaultInjector::FaultInjector(const FaultPlan &plan, std::string name,
       ackDrops(this, "ackDrops", "NI acknowledgments dropped"),
       csbFlushDrops(this, "csbFlushDrops",
                     "flushed CSB lines dropped (debug bug knob)"),
+      deviceHangNacks(this, "deviceHangNacks",
+                      "device-hang NACKs injected"),
       plan_(plan)
 {
     plan_.validate();
@@ -105,6 +405,10 @@ FaultInjector::FaultInjector(const FaultPlan &plan, std::string name,
          ++i) {
         streams_[i] = Random(siteSeed(plan_.seed, i));
     }
+    for (std::uint32_t ei = 0; ei < plan_.schedule.size(); ++ei)
+        entriesFor_[static_cast<unsigned>(plan_.schedule[ei].site)]
+            .push_back(ei);
+    oneShotFired_.assign(plan_.schedule.size(), 0);
 }
 
 sim::stats::Scalar &
@@ -118,21 +422,106 @@ FaultInjector::counterFor(FaultSite site)
       case FaultSite::WireCorrupt: return wireCorruptions;
       case FaultSite::AckDrop: return ackDrops;
       case FaultSite::CsbFlushDrop: return csbFlushDrops;
+      case FaultSite::DeviceHang: return deviceHangNacks;
       case FaultSite::NumSites: break;
     }
     csb_panic("bad fault site");
 }
 
-bool
-FaultInjector::shouldFault(FaultSite site)
+const sim::stats::Scalar &
+FaultInjector::counterFor(FaultSite site) const
 {
+    return const_cast<FaultInjector *>(this)->counterFor(site);
+}
+
+bool
+FaultInjector::shouldFault(FaultSite site, Tick now)
+{
+    unsigned idx = static_cast<unsigned>(site);
+    const std::vector<std::uint32_t> &entries = entriesFor_[idx];
+    if (entries.empty()) {
+        // Pre-schedule fast path: bit-for-bit identical draw sequence
+        // to a plan with no schedule at all.
+        double r = plan_.rate(site);
+        if (r <= 0.0)
+            return false;
+        bool fault = streams_[idx].chance(r);
+        if (fault)
+            ++counterFor(site);
+        return fault;
+    }
+
     double r = plan_.rate(site);
+    bool forced = false;
+    for (std::uint32_t ei : entries) {
+        const FaultScheduleEntry &e = plan_.schedule[ei];
+        if (e.kind == FaultScheduleEntry::Kind::OneShot) {
+            if (!oneShotFired_[ei] && now >= e.start) {
+                oneShotFired_[ei] = 1;
+                forced = true;
+            }
+        } else {
+            r += e.contributionAt(now);
+        }
+    }
+    if (forced || r >= 1.0) {
+        // Deterministic injection: never consumes a draw, so rate-1.0
+        // windows leave the site's stream untouched for later
+        // probabilistic phases.
+        ++counterFor(site);
+        return true;
+    }
     if (r <= 0.0)
         return false;
-    bool fault = streams_[static_cast<unsigned>(site)].chance(r);
+    bool fault = streams_[idx].chance(r);
     if (fault)
         ++counterFor(site);
     return fault;
+}
+
+double
+FaultInjector::effectiveRate(FaultSite site, Tick now) const
+{
+    unsigned idx = static_cast<unsigned>(site);
+    double r = plan_.rate(site);
+    for (std::uint32_t ei : entriesFor_[idx]) {
+        const FaultScheduleEntry &e = plan_.schedule[ei];
+        if (e.kind != FaultScheduleEntry::Kind::OneShot)
+            r += e.contributionAt(now);
+    }
+    return r < 1.0 ? r : 1.0;
+}
+
+std::uint64_t
+FaultInjector::injectedAt(FaultSite site) const
+{
+    return static_cast<std::uint64_t>(counterFor(site).value());
+}
+
+void
+FaultInjector::debugDump(std::ostream &os) const
+{
+    os << "  faults:";
+    bool any = false;
+    for (unsigned i = 0; i < static_cast<unsigned>(FaultSite::NumSites);
+         ++i) {
+        FaultSite site = static_cast<FaultSite>(i);
+        std::uint64_t n = injectedAt(site);
+        if (n == 0)
+            continue;
+        os << ' ' << faultSiteName(site) << '=' << n;
+        any = true;
+    }
+    if (!any)
+        os << " none injected";
+    os << '\n';
+    for (std::uint32_t ei = 0; ei < plan_.schedule.size(); ++ei) {
+        const FaultScheduleEntry &e = plan_.schedule[ei];
+        os << "    schedule[" << ei << "] " << e.spec();
+        if (e.kind == FaultScheduleEntry::Kind::OneShot)
+            os << (oneShotFired_[ei] ? " (fired)" : " (pending)");
+        os << '\n';
+    }
 }
 
 void
@@ -142,6 +531,11 @@ FaultInjector::checkpointSave(CheckpointWriter &cw) const
         for (std::uint64_t word : stream.rawState())
             cw.putU64(word);
     }
+    // One-shot fired flags: stateful schedule entries must resume
+    // exactly where the checkpointed run left them.
+    cw.putU32(static_cast<std::uint32_t>(oneShotFired_.size()));
+    for (std::uint8_t fired : oneShotFired_)
+        cw.putU8(fired);
 }
 
 void
@@ -153,6 +547,14 @@ FaultInjector::checkpointRestore(CheckpointReader &cr)
             word = cr.getU64();
         stream.setRawState(state);
     }
+    std::uint32_t flags = cr.getU32();
+    if (flags != oneShotFired_.size()) {
+        csb_fatal("fault checkpoint carries ", flags,
+                  " one-shot flags but the plan has ",
+                  oneShotFired_.size());
+    }
+    for (std::uint8_t &fired : oneShotFired_)
+        fired = cr.getU8();
 }
 
 } // namespace csb::sim

@@ -12,6 +12,14 @@
  * and a site whose rate is zero never draws at all, which is what
  * makes the machinery bit-for-bit invisible when disabled.
  *
+ * Beyond uniform Bernoulli rates, a plan may carry a *fault schedule*
+ * (docs/FAULTS.md): time-windowed bursts, duty-cycled brownouts,
+ * one-shot events, and escalating storms, composable per site and
+ * parseable from a compact spec string shared by benches, the fault-
+ * campaign runner, and the litmus matrix.  A site with no schedule
+ * entries takes exactly the pre-schedule code path, so plans without
+ * schedules remain bit-for-bit identical to builds that predate them.
+ *
  * Replay guarantee: (plan, program, configuration) fully determine
  * every injected fault.  To reproduce a failure, re-run with the same
  * FaultPlan; to explore a different schedule, change only the seed.
@@ -22,9 +30,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "random.hh"
 #include "stats.hh"
+#include "types.hh"
 
 namespace csb::sim {
 
@@ -45,15 +55,79 @@ enum class FaultSite : unsigned
      * shrinks real ordering bugs.  Never enable it in experiments.
      */
     CsbFlushDrop,
+    /**
+     * The BurstDevice stops accepting writes (its accept() hook NACKs
+     * every transaction while the site is active).  Normally driven by
+     * a scheduled hang window at rate 1.0, which never draws from the
+     * RNG stream -- masters see sustained NACKs, exhaust their retry
+     * budgets, and must recover (docs/FAULTS.md).
+     */
+    DeviceHang,
     NumSites,
 };
 
 const char *faultSiteName(FaultSite site);
 
 /**
- * The fault plan: one Bernoulli rate per site plus the master seed.
- * All rates default to zero, which disables injection entirely (and
- * costs nothing at the fault sites).
+ * Parse a site name as printed by faultSiteName().  Throws FatalError
+ * on unknown names.
+ */
+FaultSite faultSiteFromName(const std::string &name);
+
+/**
+ * One clause of a fault schedule: a deterministic, time-dependent
+ * contribution to a site's injection rate (docs/FAULTS.md has the
+ * grammar and semantics).  Contributions from all active entries add
+ * to the site's base rate, clamped to [0, 1]; an effective rate of
+ * 1.0 injects without drawing, so deterministic windows stay
+ * RNG-free.
+ */
+struct FaultScheduleEntry
+{
+    enum class Kind : unsigned
+    {
+        Burst,     ///< constant @c rate over [start, end)
+        Brownout,  ///< duty-cycled: @c rate for onTicks of every period
+        OneShot,   ///< fires exactly once at the first query >= start
+        Storm,     ///< rate escalates by @c multiplier every period
+    };
+
+    Kind kind = Kind::Burst;
+    FaultSite site = FaultSite::BusWriteNack;
+    Tick start = 0;  ///< window start (inclusive); OneShot trigger tick
+    Tick end = 0;    ///< window end (exclusive); unused by OneShot
+    double rate = 1.0;       ///< Burst/Brownout rate; Storm initial rate
+    Tick period = 0;         ///< Brownout duty period; Storm escalation period
+    Tick onTicks = 0;        ///< Brownout active portion of each period
+    double multiplier = 2.0; ///< Storm per-period rate multiplier
+
+    /** Rate contribution at @p now (OneShot handled by the injector). */
+    double contributionAt(Tick now) const;
+
+    /** Throws FatalError when the entry is malformed. */
+    void validate() const;
+
+    /** Render in the schedule-spec grammar (docs/FAULTS.md). */
+    std::string spec() const;
+};
+
+/**
+ * Parse a schedule spec string -- ';'-separated clauses, e.g.
+ * "burst:bus-write-nack:1000..5000:0.3;hang:8000..12000" -- into
+ * entries (docs/FAULTS.md documents the full grammar, including the
+ * "hang" and "flap" sugar).  Throws FatalError on syntax errors.
+ */
+std::vector<FaultScheduleEntry> parseFaultSchedule(const std::string &spec);
+
+/** Render @p schedule back into the spec grammar (parse round-trip). */
+std::string faultScheduleSpec(
+    const std::vector<FaultScheduleEntry> &schedule);
+
+/**
+ * The fault plan: one Bernoulli rate per site plus the master seed,
+ * optionally extended with a schedule of time-dependent entries.
+ * All rates default to zero and the schedule to empty, which disables
+ * injection entirely (and costs nothing at the fault sites).
  */
 struct FaultPlan
 {
@@ -79,23 +153,47 @@ struct FaultPlan
      * legitimate user.
      */
     double csbFlushDropRate = 0;
+    /**
+     * Probability the BurstDevice NACKs an accepted write.  Usually
+     * left 0 and driven by a scheduled hang window instead.
+     */
+    double deviceHangRate = 0;
 
-    /** @return the rate configured for @p site. */
+    /**
+     * Scheduled adversity layered on top of the base rates.  Empty by
+     * default; a site with no entries is bit-for-bit identical to a
+     * schedule-free build.
+     */
+    std::vector<FaultScheduleEntry> schedule;
+
+    /** @return the base (schedule-independent) rate for @p site. */
     double rate(FaultSite site) const;
 
-    /** @return true when any site has a nonzero rate. */
+    /** @return true when @p site has any schedule entry. */
+    bool scheduled(FaultSite site) const;
+
+    /** @return true when any site has a nonzero rate or an entry. */
     bool enabled() const;
 
-    /** @return true when any bus-level site has a nonzero rate. */
+    /** @return true when any bus-level site (including DeviceHang)
+     * has a nonzero rate or a schedule entry. */
     bool busFaultsEnabled() const;
 
-    /** @return true when any NI-wire site has a nonzero rate. */
+    /** @return true when any NI-wire site has a nonzero rate or a
+     * schedule entry. */
     bool wireFaultsEnabled() const;
 
     /** @return true when the CsbFlushDrop debug knob is armed. */
     bool csbBugEnabled() const;
 
-    /** Throws FatalError when a rate is outside [0, 1]. */
+    /**
+     * A stable hash of the schedule contents, mixed into the System
+     * config fingerprint so a checkpoint taken under one schedule is
+     * rejected by a restore under another.
+     */
+    std::uint64_t scheduleFingerprint() const;
+
+    /** Throws FatalError when a rate or schedule entry is invalid. */
     void validate() const;
 };
 
@@ -112,18 +210,34 @@ class FaultInjector : public stats::StatGroup
                            stats::StatGroup *stat_parent = nullptr);
 
     /**
-     * Deterministic Bernoulli draw for @p site.  Never draws from the
-     * stream (and never counts) when the site's rate is zero, so a
-     * disabled site is bit-for-bit free.
+     * Deterministic Bernoulli draw for @p site at tick @p now.  A
+     * site with no schedule entries ignores @p now and never draws
+     * from the stream (and never counts) when its rate is zero, so a
+     * disabled site is bit-for-bit free.  For scheduled sites the
+     * effective rate is base + active contributions clamped to
+     * [0, 1]; an effective rate of 1.0 injects without drawing.
      */
-    bool shouldFault(FaultSite site);
+    bool shouldFault(FaultSite site, Tick now);
+
+    /**
+     * Read-only view of the effective rate at @p now: no draw, no
+     * counting, no one-shot consumption.  Used by diagnostics.
+     */
+    double effectiveRate(FaultSite site, Tick now) const;
 
     const FaultPlan &plan() const { return plan_; }
 
+    /** Injection count for @p site (for dumps and scorecards). */
+    std::uint64_t injectedAt(FaultSite site) const;
+
+    /** One line per site with nonzero injections, for debugDump. */
+    void debugDump(std::ostream &os) const;
+
     /**
-     * Serialize the per-site RNG streams (the counters travel with
-     * the stats tree).  Restoring resumes every site's draw sequence
-     * exactly where the checkpointed run left it.
+     * Serialize the per-site RNG streams and one-shot fired flags
+     * (the counters travel with the stats tree).  Restoring resumes
+     * every site's draw sequence exactly where the checkpointed run
+     * left it.
      */
     void checkpointSave(CheckpointWriter &cw) const;
 
@@ -139,12 +253,19 @@ class FaultInjector : public stats::StatGroup
     stats::Scalar wireCorruptions;
     stats::Scalar ackDrops;
     stats::Scalar csbFlushDrops;
+    stats::Scalar deviceHangNacks;
 
   private:
     stats::Scalar &counterFor(FaultSite site);
+    const stats::Scalar &counterFor(FaultSite site) const;
 
     FaultPlan plan_;
     Random streams_[static_cast<unsigned>(FaultSite::NumSites)];
+    /** Indices into plan_.schedule, bucketed by site. */
+    std::vector<std::uint32_t>
+        entriesFor_[static_cast<unsigned>(FaultSite::NumSites)];
+    /** Fired flag per OneShot entry, indexed like plan_.schedule. */
+    std::vector<std::uint8_t> oneShotFired_;
 };
 
 } // namespace csb::sim

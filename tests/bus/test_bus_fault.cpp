@@ -239,8 +239,8 @@ TEST(FaultInjectorDeterminism, SameSeedSameDecisions)
     sim::FaultInjector a(plan);
     sim::FaultInjector b(plan);
     for (int i = 0; i < 1000; ++i) {
-        EXPECT_EQ(a.shouldFault(sim::FaultSite::WireDrop),
-                  b.shouldFault(sim::FaultSite::WireDrop));
+        EXPECT_EQ(a.shouldFault(sim::FaultSite::WireDrop, 0),
+                  b.shouldFault(sim::FaultSite::WireDrop, 0));
     }
     EXPECT_GT(a.wireDrops.value(), 0.0);
     EXPECT_LT(a.wireDrops.value(), 1000.0);
@@ -258,9 +258,9 @@ TEST(FaultInjectorDeterminism, ZeroRateSiteNeverDraws)
     std::vector<bool> with_noise;
     std::vector<bool> without;
     for (int i = 0; i < 200; ++i) {
-        EXPECT_FALSE(a.shouldFault(sim::FaultSite::BusError));
-        with_noise.push_back(a.shouldFault(sim::FaultSite::WireDrop));
-        without.push_back(b.shouldFault(sim::FaultSite::WireDrop));
+        EXPECT_FALSE(a.shouldFault(sim::FaultSite::BusError, 0));
+        with_noise.push_back(a.shouldFault(sim::FaultSite::WireDrop, 0));
+        without.push_back(b.shouldFault(sim::FaultSite::WireDrop, 0));
     }
     EXPECT_EQ(with_noise, without);
     EXPECT_EQ(a.busErrors.value(), 0.0);

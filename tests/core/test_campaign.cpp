@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Fault campaigns and the recovery subsystem (docs/FAULTS.md): the
+ * CSB's degraded-mode escalation and re-promotion, the NI link reset,
+ * crash-restart exactly-once delivery, the health monitor, and the
+ * determinism of the whole scorecard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+#include "core/health.hh"
+#include "core/system.hh"
+#include "core/workloads.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using csb::FatalError;
+namespace core = csb::core;
+namespace sim = csb::sim;
+
+core::CampaignScenario
+cleanScenario()
+{
+    core::CampaignScenario sc;
+    sc.name = "clean";
+    sc.legs = 2;
+    sc.messagesPerLeg = 6;
+    sc.deviceLines = 2;
+    return sc;
+}
+
+TEST(Campaign, CleanRunRecoversTrivially)
+{
+    core::CampaignResult r = core::runCampaign(cleanScenario(), 1);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_EQ(r.legsCompleted, 2u);
+    EXPECT_FALSE(r.crashed);
+    EXPECT_EQ(r.messagesSent, 12u);
+    EXPECT_EQ(r.delivered, 12u);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_EQ(r.duplicated, 0u);
+    EXPECT_EQ(r.faultsInjected, 0u);
+    EXPECT_GT(r.healthChecks, 0u);
+    EXPECT_EQ(r.healthViolations, 0u);
+}
+
+TEST(Campaign, ScorecardIsDeterministic)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.schedule = "burst:bus-write-nack:500..4000:0.3";
+    core::CampaignResult a = core::runCampaign(sc, 3);
+    core::CampaignResult b = core::runCampaign(sc, 3);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.busNacks, b.busNacks);
+    EXPECT_EQ(a.busRetries, b.busRetries);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.healthChecks, b.healthChecks);
+}
+
+TEST(Campaign, DeviceHangEntersDegradedModeAndRepromotes)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.legs = 3;
+    sc.messagesPerLeg = 12;
+    sc.deviceLines = 6;
+    sc.schedule = "hang:2000..3500";
+    core::CampaignResult r = core::runCampaign(sc, 1);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_GE(r.faultsInjected, 1u);
+    EXPECT_GE(r.degradedEntries, 1u);
+    EXPECT_GE(r.repromotions, 1u);
+    EXPECT_GT(r.degradedTicks, 0.0);
+    EXPECT_GT(r.mttrTicks, 0.0);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_EQ(r.duplicated, 0u);
+}
+
+TEST(Campaign, WireFlapTriggersLinkResetAndRecovers)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.legs = 3;
+    sc.messagesPerLeg = 12;
+    sc.schedule = "flap:500..30000";
+    core::CampaignResult r = core::runCampaign(sc, 1);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_GE(r.linkResets, 1u);
+    EXPECT_GT(r.linkDownTicks, 0.0);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_EQ(r.duplicated, 0u);
+}
+
+TEST(Campaign, CrashRestartDeliversExactlyOnce)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.legs = 3;
+    sc.messagesPerLeg = 12;
+    sc.schedule = "burst:bus-write-nack:1000..12000:0.3;hang:3000..7000";
+    sc.crashAfterLeg = 1;
+    sc.crashAfterTicks = 1500;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        core::CampaignResult r = core::runCampaign(sc, seed);
+        EXPECT_TRUE(r.crashed) << "seed " << seed;
+        EXPECT_TRUE(r.recovered) << "seed " << seed;
+        EXPECT_EQ(r.legsCompleted, 3u) << "seed " << seed;
+        EXPECT_EQ(r.lost, 0u) << "seed " << seed;
+        EXPECT_EQ(r.duplicated, 0u) << "seed " << seed;
+        EXPECT_EQ(r.delivered, r.messagesSent) << "seed " << seed;
+    }
+}
+
+TEST(Campaign, CrashInFirstLegRestartsFromColdCheckpoint)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.crashAfterLeg = 0;
+    sc.crashAfterTicks = 800;
+    core::CampaignResult r = core::runCampaign(sc, 2);
+    EXPECT_TRUE(r.crashed);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_EQ(r.delivered, r.messagesSent);
+}
+
+TEST(Campaign, ValidatesScenario)
+{
+    core::CampaignScenario sc = cleanScenario();
+    sc.crashAfterLeg = 5; // only 2 legs
+    EXPECT_THROW(core::runCampaign(sc, 1), FatalError);
+    sc = cleanScenario();
+    sc.schedule = "not-a-schedule";
+    EXPECT_THROW(core::runCampaign(sc, 1), FatalError);
+}
+
+TEST(Campaign, SummaryAggregates)
+{
+    core::CampaignScenario sc = cleanScenario();
+    std::vector<core::CampaignResult> rs;
+    rs.push_back(core::runCampaign(sc, 1));
+    rs.push_back(core::runCampaign(sc, 2));
+    core::CampaignSummary s = core::summarize(rs);
+    EXPECT_EQ(s.runs, 2u);
+    EXPECT_EQ(s.recoveredRuns, 2u);
+    EXPECT_DOUBLE_EQ(s.recoveryRate, 1.0);
+    EXPECT_EQ(s.totalLost, 0u);
+}
+
+TEST(HealthMonitor, PassiveOnHealthySystem)
+{
+    core::SystemConfig cfg;
+    cfg.enableNi = true;
+    cfg.ubuf.combineBytes = 0;
+    cfg.normalize();
+    core::System system(cfg);
+    core::HealthParams hp;
+    hp.period = 512;
+    hp.livenessWindow = 100'000;
+    core::HealthMonitor monitor(system, hp);
+    monitor.arm();
+
+    core::MessageProgramSpec spec;
+    std::vector<unsigned> sizes{64, 128, 32};
+    system.run(core::makeMessageProgram(spec, sizes));
+    monitor.disarm();
+
+    EXPECT_GT(monitor.checksRun(), 0u);
+    EXPECT_TRUE(monitor.violations().empty());
+    EXPECT_EQ(system.ni()->delivered().size(), sizes.size());
+}
+
+TEST(HealthMonitor, RejectsBadParams)
+{
+    core::SystemConfig cfg;
+    cfg.normalize();
+    core::System system(cfg);
+    core::HealthParams hp;
+    hp.period = 1000;
+    hp.livenessWindow = 10; // shorter than the period
+    EXPECT_THROW(core::HealthMonitor(system, hp), FatalError);
+}
+
+} // namespace

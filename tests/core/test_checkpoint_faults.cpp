@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Checkpoint/restore with fault injection ENABLED: the injector's
+ * per-site RNG streams, one-shot flags, and the recovery machinery's
+ * state (CSB degraded mode, NI sequence numbers) must round-trip so
+ * a resumed faulty run is tick-identical to the uninterrupted one
+ * (docs/CHECKPOINT.md, docs/FAULTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kernels.hh"
+#include "core/system.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using csb::FatalError;
+using csb::Tick;
+namespace core = csb::core;
+namespace sim = csb::sim;
+
+core::SystemConfig
+faultyConfig(const std::string &schedule)
+{
+    core::SystemConfig cfg;
+    cfg.faults.seed = 42;
+    cfg.faults.busWriteNackRate = 0.1;
+    cfg.faults.schedule = sim::parseFaultSchedule(schedule);
+    cfg.bus.errorResponses = true;
+    cfg.ubuf.retry.maxAttempts = 32;
+    cfg.normalize();
+    return cfg;
+}
+
+std::string
+statsJson(core::System &system)
+{
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+    return os.str();
+}
+
+csb::isa::Program
+firstProgram()
+{
+    return core::makeStoreKernel(core::System::ioUncachedBase, 512);
+}
+
+csb::isa::Program
+secondProgram()
+{
+    return core::makeCsbStoreKernel(core::System::ioCsbBase, 512, 64);
+}
+
+/** In-memory save/restore into a fresh system built from @p cfg. */
+std::unique_ptr<core::System>
+roundTrip(core::System &before, const core::SystemConfig &cfg)
+{
+    sim::CheckpointWriter cw;
+    before.saveCheckpoint(cw);
+    std::ostringstream os;
+    cw.writeTo(os);
+    std::istringstream is(os.str());
+    sim::CheckpointReader cr = sim::CheckpointReader::readFrom(is);
+    auto after = std::make_unique<core::System>(cfg);
+    after->restoreCheckpoint(cr);
+    return after;
+}
+
+TEST(CheckpointFaults, ResumedFaultyRunIsTickIdentical)
+{
+    // The schedule straddles the checkpoint boundary: a burst active
+    // on both sides plus a one-shot consumed before the save.
+    const std::string schedule =
+        "burst:bus-write-nack:0..1000000:0.1;oneshot:bus-read-nack:50";
+    core::SystemConfig cfg = faultyConfig(schedule);
+
+    core::System reference(cfg);
+    reference.run(firstProgram());
+    Tick ref_end = reference.run(secondProgram());
+
+    core::System before(cfg);
+    before.run(firstProgram());
+    auto after = roundTrip(before, cfg);
+    Tick after_end = after->run(secondProgram());
+
+    EXPECT_EQ(after_end, ref_end);
+    EXPECT_EQ(statsJson(*after), statsJson(reference));
+}
+
+TEST(CheckpointFaults, ScheduleFingerprintGuardsRestore)
+{
+    core::SystemConfig cfg =
+        faultyConfig("burst:bus-write-nack:0..100000:0.1");
+    core::System before(cfg);
+    before.run(firstProgram());
+
+    sim::CheckpointWriter cw;
+    before.saveCheckpoint(cw);
+    std::ostringstream os;
+    cw.writeTo(os);
+
+    // Same rates, different schedule -> fingerprint mismatch.
+    core::SystemConfig other =
+        faultyConfig("burst:bus-write-nack:0..100001:0.1");
+    core::System after(other);
+    std::istringstream is(os.str());
+    sim::CheckpointReader cr = sim::CheckpointReader::readFrom(is);
+    EXPECT_THROW(after.restoreCheckpoint(cr), FatalError);
+}
+
+TEST(CheckpointFaults, DegradedModeStateSurvivesRestore)
+{
+    // Drive the CSB into degraded mode with a device hang, checkpoint
+    // WHILE degraded (quiescent between programs), and prove the
+    // resumed run matches the uninterrupted one -- including the
+    // re-promotion that happens in the second program.
+    core::SystemConfig cfg;
+    cfg.faults.seed = 9;
+    // Hang window covers the first program's device writes; the CSB
+    // budget is small so it escalates, and the window ends before the
+    // second program so the resumed run re-promotes.
+    cfg.faults.schedule = sim::parseFaultSchedule("hang:200..2600");
+    cfg.bus.errorResponses = true;
+    cfg.csb.degradedFallback = true;
+    cfg.csb.retry.maxAttempts = 3;
+    // Larger than the clean completions the first program can manage
+    // after the hang lifts, so the checkpoint happens IN degraded
+    // mode; the longer second program then re-promotes.
+    cfg.csb.repromoteAfter = 100;
+    cfg.normalize();
+
+    auto program = [](unsigned bytes) {
+        return core::makeCsbStoreKernel(core::System::ioCsbBase, bytes,
+                                        64);
+    };
+
+    core::System reference(cfg);
+    reference.run(program(512));
+    ASSERT_TRUE(reference.csb()->degraded());
+    Tick ref_end = reference.run(program(1024));
+    EXPECT_FALSE(reference.csb()->degraded());
+    EXPECT_GE(reference.csb()->repromotions.value(), 1.0);
+
+    core::System before(cfg);
+    before.run(program(512));
+    ASSERT_TRUE(before.csb()->degraded());
+    auto after = roundTrip(before, cfg);
+    EXPECT_TRUE(after->csb()->degraded());
+    Tick after_end = after->run(program(1024));
+
+    EXPECT_EQ(after_end, ref_end);
+    EXPECT_EQ(statsJson(*after), statsJson(reference));
+}
+
+} // namespace

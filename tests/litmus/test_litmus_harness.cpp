@@ -31,6 +31,24 @@ TEST(LitmusHarness, SpecDerivationIsDeterministic)
     }
 }
 
+TEST(LitmusHarness, ScheduledFaultAxisIsDrawnAndOptional)
+{
+    // A quarter of sampled seeds draw the burst schedule; an empty
+    // schedule disables the axis entirely.
+    bool any_scheduled = false;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        for (const RunSpec &spec : specsForSeed(seed, false, 0))
+            any_scheduled = any_scheduled || !spec.schedule.empty();
+        for (const RunSpec &spec : specsForSeed(seed, false, 0, ""))
+            EXPECT_TRUE(spec.schedule.empty());
+    }
+    EXPECT_TRUE(any_scheduled);
+    // The full matrix's third fault flavor collapses without a
+    // schedule: 2 flavors instead of 3.
+    EXPECT_EQ(specsForSeed(3, true, 0, "").size() * 3,
+              specsForSeed(3, true, 0).size() * 2);
+}
+
 TEST(LitmusHarness, ReportIsIdenticalAcrossJobs)
 {
     HarnessOptions opts;

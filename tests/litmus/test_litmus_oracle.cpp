@@ -34,9 +34,10 @@ TEST(LitmusOracle, CleanSeedPassesFullMatrix)
     std::uint64_t seed = 3;
     TestCase tc = generate(seed);
     std::vector<RunSpec> specs = specsForSeed(seed, true, 0);
-    // Full matrix: 3 schemes x {smp, sched if multi-ctx} x faults.
+    // Full matrix: 3 schemes x {smp, sched if multi-ctx} x
+    // {clean, uniform faults, scheduled burst}.
     unsigned contexts = contextsForSeed(seed);
-    EXPECT_EQ(specs.size(), contexts > 1 ? 12u : 6u);
+    EXPECT_EQ(specs.size(), contexts > 1 ? 18u : 9u);
     for (const RunSpec &spec : specs)
         EXPECT_TRUE(runCase(tc, spec).passed()) << spec.name();
 }
@@ -80,6 +81,9 @@ TEST(LitmusOracle, RunSpecNamesAreStable)
     spec.faults = true;
     spec.dropFlushRate = 1.0;
     EXPECT_EQ(spec.name(), "pio/sched(q=150)/faults/drop-flush");
+    spec.schedule = "burst:bus-write-nack:0..100:0.5";
+    EXPECT_EQ(spec.name(),
+              "pio/sched(q=150)/faults/scheduled/drop-flush");
 }
 
 TEST(LitmusOracle, RecorderCapturesTheRun)

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Fault-schedule machinery: the spec grammar, time-dependent rate
+ * semantics, one-shot consumption, RNG-stream isolation and the
+ * checkpoint round trip of the injector's schedule state
+ * (docs/FAULTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using csb::FatalError;
+using csb::Tick;
+namespace sim = csb::sim;
+
+TEST(FaultSchedule, ParsesEveryClauseKind)
+{
+    auto sched = sim::parseFaultSchedule(
+        "burst:bus-write-nack:1000..5000:0.3;"
+        "brownout:bus-read-nack:0..20000:4000/1000:0.5;"
+        "oneshot:ack-drop:777;"
+        "storm:wire-drop:100..900:0.01x2/200;"
+        "hang:50..60;"
+        "flap:10..20");
+    // hang = 1 entry, flap = 2 (wire-drop + ack-drop).
+    ASSERT_EQ(sched.size(), 7u);
+    EXPECT_EQ(sched[0].kind, sim::FaultScheduleEntry::Kind::Burst);
+    EXPECT_EQ(sched[0].site, sim::FaultSite::BusWriteNack);
+    EXPECT_EQ(sched[0].start, 1000u);
+    EXPECT_EQ(sched[0].end, 5000u);
+    EXPECT_DOUBLE_EQ(sched[0].rate, 0.3);
+    EXPECT_EQ(sched[1].kind, sim::FaultScheduleEntry::Kind::Brownout);
+    EXPECT_EQ(sched[1].period, 4000u);
+    EXPECT_EQ(sched[1].onTicks, 1000u);
+    EXPECT_EQ(sched[2].kind, sim::FaultScheduleEntry::Kind::OneShot);
+    EXPECT_EQ(sched[2].start, 777u);
+    EXPECT_EQ(sched[3].kind, sim::FaultScheduleEntry::Kind::Storm);
+    EXPECT_DOUBLE_EQ(sched[3].multiplier, 2.0);
+    EXPECT_EQ(sched[3].period, 200u);
+    EXPECT_EQ(sched[4].site, sim::FaultSite::DeviceHang);
+    EXPECT_DOUBLE_EQ(sched[4].rate, 1.0);
+    EXPECT_EQ(sched[5].site, sim::FaultSite::WireDrop);
+    EXPECT_EQ(sched[6].site, sim::FaultSite::AckDrop);
+}
+
+TEST(FaultSchedule, SpecRoundTrips)
+{
+    const std::string spec =
+        "burst:bus-write-nack:1000..5000:0.3;"
+        "brownout:bus-read-nack:0..20000:4000/1000:0.5;"
+        "oneshot:ack-drop:777;"
+        "storm:wire-drop:100..900:0.01x2/200";
+    auto sched = sim::parseFaultSchedule(spec);
+    std::string rendered = sim::faultScheduleSpec(sched);
+    auto reparsed = sim::parseFaultSchedule(rendered);
+    ASSERT_EQ(reparsed.size(), sched.size());
+    EXPECT_EQ(sim::faultScheduleSpec(reparsed), rendered);
+}
+
+TEST(FaultSchedule, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(sim::parseFaultSchedule("burst:no-such-site:0..1:0.5"),
+                 FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("burst:bus-write-nack:9..3:0.5"),
+                 FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("gibberish"), FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("burst:bus-write-nack:0..5:2.5"),
+                 FatalError);
+    EXPECT_THROW(
+        sim::parseFaultSchedule("brownout:bus-write-nack:0..5:0/0:0.5"),
+        FatalError);
+}
+
+TEST(FaultSchedule, SiteNamesRoundTrip)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(sim::FaultSite::NumSites); ++i) {
+        auto site = static_cast<sim::FaultSite>(i);
+        EXPECT_EQ(sim::faultSiteFromName(sim::faultSiteName(site)),
+                  site);
+    }
+    EXPECT_THROW(sim::faultSiteFromName("bogus"), FatalError);
+}
+
+TEST(FaultSchedule, BurstWindowIsExactAndRngFreeAtFullRate)
+{
+    sim::FaultPlan plan;
+    plan.seed = 7;
+    plan.schedule = sim::parseFaultSchedule("hang:100..200");
+    sim::FaultInjector inj(plan);
+
+    EXPECT_FALSE(inj.shouldFault(sim::FaultSite::DeviceHang, 99));
+    EXPECT_TRUE(inj.shouldFault(sim::FaultSite::DeviceHang, 100));
+    EXPECT_TRUE(inj.shouldFault(sim::FaultSite::DeviceHang, 199));
+    EXPECT_FALSE(inj.shouldFault(sim::FaultSite::DeviceHang, 200));
+    EXPECT_EQ(inj.injectedAt(sim::FaultSite::DeviceHang), 2u);
+
+    // Full-rate windows never draw: a second injector with the same
+    // seed but no schedule must see the exact same stream for a
+    // Bernoulli site afterwards.
+    sim::FaultPlan uniform;
+    uniform.seed = 7;
+    uniform.busWriteNackRate = 0.5;
+    sim::FaultPlan withHang = uniform;
+    withHang.schedule = plan.schedule;
+    sim::FaultInjector a(uniform), b(withHang);
+    for (Tick t = 0; t < 400; ++t)
+        b.shouldFault(sim::FaultSite::DeviceHang, t);
+    for (Tick t = 0; t < 256; ++t) {
+        EXPECT_EQ(a.shouldFault(sim::FaultSite::BusWriteNack, t),
+                  b.shouldFault(sim::FaultSite::BusWriteNack, t))
+            << "tick " << t;
+    }
+}
+
+TEST(FaultSchedule, EffectiveRateComposesAndClamps)
+{
+    sim::FaultPlan plan;
+    plan.busWriteNackRate = 0.2;
+    plan.schedule = sim::parseFaultSchedule(
+        "burst:bus-write-nack:100..200:0.3;"
+        "burst:bus-write-nack:150..200:0.9");
+    sim::FaultInjector inj(plan);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 0), 0.2);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 120), 0.5);
+    // 0.2 + 0.3 + 0.9 clamps to 1.0.
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 170), 1.0);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 200), 0.2);
+}
+
+TEST(FaultSchedule, BrownoutDutyCycles)
+{
+    sim::FaultPlan plan;
+    plan.schedule = sim::parseFaultSchedule(
+        "brownout:bus-write-nack:0..10000:100/25:1.0");
+    sim::FaultInjector inj(plan);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 24), 1.0);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 25), 0.0);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 100), 1.0);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 199), 0.0);
+}
+
+TEST(FaultSchedule, StormEscalatesPerPeriod)
+{
+    sim::FaultPlan plan;
+    plan.schedule = sim::parseFaultSchedule(
+        "storm:bus-write-nack:1000..9000:0.1x2/1000");
+    sim::FaultInjector inj(plan);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 1000), 0.1);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 2000), 0.2);
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 3500), 0.4);
+    // Escalation clamps at 1.0.
+    EXPECT_DOUBLE_EQ(
+        inj.effectiveRate(sim::FaultSite::BusWriteNack, 8999), 1.0);
+}
+
+TEST(FaultSchedule, OneShotFiresExactlyOnce)
+{
+    sim::FaultPlan plan;
+    plan.schedule =
+        sim::parseFaultSchedule("oneshot:bus-write-nack:500");
+    sim::FaultInjector inj(plan);
+    EXPECT_FALSE(inj.shouldFault(sim::FaultSite::BusWriteNack, 499));
+    EXPECT_TRUE(inj.shouldFault(sim::FaultSite::BusWriteNack, 503));
+    for (Tick t = 504; t < 600; ++t)
+        EXPECT_FALSE(inj.shouldFault(sim::FaultSite::BusWriteNack, t));
+    EXPECT_EQ(inj.injectedAt(sim::FaultSite::BusWriteNack), 1u);
+}
+
+TEST(FaultSchedule, InjectorStreamsAndOneShotsRoundTripCheckpoint)
+{
+    sim::FaultPlan plan;
+    plan.seed = 11;
+    plan.busWriteNackRate = 0.5;
+    plan.wireDropRate = 0.25;
+    plan.schedule = sim::parseFaultSchedule(
+        "oneshot:ack-drop:100;burst:bus-write-nack:0..100000:0.1");
+    sim::FaultInjector before(plan);
+
+    // Consume part of two streams and the one-shot.
+    for (Tick t = 0; t < 200; ++t) {
+        before.shouldFault(sim::FaultSite::BusWriteNack, t);
+        before.shouldFault(sim::FaultSite::WireDrop, t);
+        before.shouldFault(sim::FaultSite::AckDrop, t);
+    }
+    EXPECT_EQ(before.injectedAt(sim::FaultSite::AckDrop), 1u);
+
+    sim::CheckpointWriter cw;
+    cw.beginSection("faults");
+    before.checkpointSave(cw);
+    std::ostringstream os;
+    cw.writeTo(os);
+    std::istringstream is(os.str());
+    sim::CheckpointReader cr = sim::CheckpointReader::readFrom(is);
+    sim::FaultInjector after(plan);
+    cr.openSection("faults");
+    after.checkpointRestore(cr);
+    cr.closeSection();
+
+    // The restored injector continues both draw sequences exactly,
+    // and the consumed one-shot must not fire again.
+    for (Tick t = 200; t < 600; ++t) {
+        EXPECT_EQ(before.shouldFault(sim::FaultSite::BusWriteNack, t),
+                  after.shouldFault(sim::FaultSite::BusWriteNack, t))
+            << "tick " << t;
+        EXPECT_EQ(before.shouldFault(sim::FaultSite::WireDrop, t),
+                  after.shouldFault(sim::FaultSite::WireDrop, t))
+            << "tick " << t;
+        EXPECT_FALSE(after.shouldFault(sim::FaultSite::AckDrop, t));
+    }
+}
+
+TEST(FaultSchedule, FingerprintTracksScheduleContents)
+{
+    sim::FaultPlan a, b, c;
+    a.schedule = sim::parseFaultSchedule("hang:100..200");
+    b.schedule = sim::parseFaultSchedule("hang:100..200");
+    c.schedule = sim::parseFaultSchedule("hang:100..201");
+    EXPECT_EQ(a.scheduleFingerprint(), b.scheduleFingerprint());
+    EXPECT_NE(a.scheduleFingerprint(), c.scheduleFingerprint());
+}
+
+} // namespace

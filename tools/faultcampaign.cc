@@ -1,0 +1,350 @@
+/**
+ * @file
+ * The fault-campaign runner (docs/FAULTS.md).
+ *
+ *   tools/faultcampaign [--scenarios a,b|all] [--seeds N] [--jobs N]
+ *                       [--json FILE] [--gate]
+ *     Run each built-in campaign scenario across a seed sweep on a
+ *     SweepRunner pool and print one robustness scorecard per
+ *     scenario.  The report on stdout is byte-identical at any
+ *     --jobs.  With --gate, exit 0 iff every run recovered with zero
+ *     lost and zero duplicated messages.
+ *
+ *   tools/faultcampaign --schedule SPEC [--crash-leg N] ...
+ *     Run a single custom scenario built from the flags instead of
+ *     the built-in set.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/sweep.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace csb;
+
+/** The built-in campaign set (docs/FAULTS.md documents each). */
+std::vector<core::CampaignScenario>
+builtinScenarios()
+{
+    std::vector<core::CampaignScenario> all;
+
+    // Window placement: a clean 3x12-message leg lasts ~2500 ticks,
+    // so adversity is concentrated in the first ~2 legs and the
+    // campaign proves recovery by finishing clean afterwards.
+
+    core::CampaignScenario burst;
+    burst.name = "burst-nack";
+    burst.schedule = "burst:bus-write-nack:1000..6000:0.3";
+    all.push_back(burst);
+
+    core::CampaignScenario hang;
+    hang.name = "device-hang";
+    hang.deviceLines = 6;
+    hang.schedule = "hang:2000..3500";
+    all.push_back(hang);
+
+    core::CampaignScenario flap;
+    flap.name = "link-flap";
+    flap.schedule = "flap:1000..30000";
+    all.push_back(flap);
+
+    core::CampaignScenario storm;
+    storm.name = "ack-storm";
+    storm.schedule = "storm:ack-drop:1000..20000:0.05x2/3000";
+    all.push_back(storm);
+
+    core::CampaignScenario brown;
+    brown.name = "brownout-locked";
+    brown.useCsb = false;
+    brown.schedule = "brownout:bus-write-nack:1000..20000:4000/1500:0.5";
+    all.push_back(brown);
+
+    // The acceptance scenario: a 30% NACK burst, a device hang and a
+    // mid-campaign crash-restart in one run.
+    core::CampaignScenario combined;
+    combined.name = "combined";
+    combined.schedule =
+        "burst:bus-write-nack:1000..12000:0.3;hang:3000..7000";
+    combined.crashAfterLeg = 1;
+    combined.crashAfterTicks = 1500;
+    all.push_back(combined);
+
+    return all;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: faultcampaign [options]\n"
+          "  --scenarios LIST   comma-separated names, or 'all' "
+          "(default all)\n"
+          "  --list             print scenario names and exit\n"
+          "  --first-seed N     first campaign seed (default 1)\n"
+          "  --seeds N          seeds per scenario (default 10)\n"
+          "  --jobs N           worker threads; 0 = all cores "
+          "(default 1)\n"
+          "  --json FILE        also write the scorecards as JSON\n"
+          "  --gate             exit 1 unless every run recovered "
+          "with\n"
+          "                     zero lost/duplicated messages\n"
+          "custom-scenario mode (replaces the built-in set):\n"
+          "  --schedule SPEC    fault schedule (docs/FAULTS.md "
+          "grammar)\n"
+          "  --legs N           workload legs (default 3)\n"
+          "  --messages N       messages per leg (default 12)\n"
+          "  --device-lines N   device lines per leg (default 4)\n"
+          "  --locked           lock-protected PIO instead of the "
+          "CSB\n"
+          "  --crash-leg N      crash inside leg N (default: no "
+          "crash)\n"
+          "  --crash-ticks N    ticks into the crash leg (default "
+          "20000)\n";
+}
+
+std::uint64_t
+parseU64(const char *flag, const char *val)
+{
+    try {
+        return std::stoull(val, nullptr, 0);
+    } catch (...) {
+        std::cerr << "faultcampaign: bad value for " << flag << ": "
+                  << val << "\n";
+        std::exit(2);
+    }
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (c == '\n')
+            os << "\\n";
+        else
+            os << c;
+    }
+}
+
+void
+writeJson(std::ostream &os,
+          const std::vector<core::CampaignScenario> &scenarios,
+          const std::vector<std::vector<core::CampaignResult>> &results,
+          const std::vector<std::uint64_t> &seeds)
+{
+    os << "{\n  \"scenarios\": [\n";
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        const core::CampaignScenario &sc = scenarios[s];
+        core::CampaignSummary sum = core::summarize(results[s]);
+        os << "    {\n      \"name\": \"";
+        jsonEscape(os, sc.name);
+        os << "\",\n      \"schedule\": \"";
+        jsonEscape(os, sc.schedule);
+        os << "\",\n      \"useCsb\": " << (sc.useCsb ? "true" : "false")
+           << ",\n      \"crashAfterLeg\": " << sc.crashAfterLeg
+           << ",\n      \"runs\": " << sum.runs
+           << ",\n      \"recoveredRuns\": " << sum.recoveredRuns
+           << ",\n      \"recoveryRate\": " << sum.recoveryRate
+           << ",\n      \"totalLost\": " << sum.totalLost
+           << ",\n      \"totalDuplicated\": " << sum.totalDuplicated
+           << ",\n      \"totalFaultsInjected\": "
+           << sum.totalFaultsInjected
+           << ",\n      \"totalLinkResets\": " << sum.totalLinkResets
+           << ",\n      \"totalDegradedEntries\": "
+           << sum.totalDegradedEntries
+           << ",\n      \"totalHealthViolations\": "
+           << sum.totalHealthViolations
+           << ",\n      \"meanMttrTicks\": " << sum.meanMttrTicks
+           << ",\n      \"meanDegradedResidency\": "
+           << sum.meanDegradedResidency << ",\n      \"perSeed\": [\n";
+        for (std::size_t i = 0; i < results[s].size(); ++i) {
+            const core::CampaignResult &r = results[s][i];
+            os << "        {\"seed\": " << seeds[i]
+               << ", \"recovered\": " << (r.recovered ? "true" : "false")
+               << ", \"legsCompleted\": " << r.legsCompleted
+               << ", \"crashed\": " << (r.crashed ? "true" : "false")
+               << ", \"sent\": " << r.messagesSent
+               << ", \"delivered\": " << r.delivered
+               << ", \"lost\": " << r.lost
+               << ", \"duplicated\": " << r.duplicated
+               << ", \"faultsInjected\": " << r.faultsInjected
+               << ", \"linkResets\": " << r.linkResets
+               << ", \"degradedEntries\": " << r.degradedEntries
+               << ", \"mttrTicks\": " << r.mttrTicks
+               << ", \"healthViolations\": " << r.healthViolations
+               << ", \"endTick\": " << r.endTick << "}"
+               << (i + 1 < results[s].size() ? "," : "") << '\n';
+        }
+        os << "      ]\n    }"
+           << (s + 1 < scenarios.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenarioList = "all";
+    std::uint64_t firstSeed = 1;
+    std::uint64_t numSeeds = 10;
+    unsigned jobs = 1;
+    std::string jsonPath;
+    bool gate = false;
+    bool list = false;
+
+    core::CampaignScenario custom;
+    custom.name = "custom";
+    bool haveCustom = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "faultcampaign: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--scenarios")) {
+            scenarioList = next();
+        } else if (!std::strcmp(arg, "--list")) {
+            list = true;
+        } else if (!std::strcmp(arg, "--first-seed")) {
+            firstSeed = parseU64(arg, next());
+        } else if (!std::strcmp(arg, "--seeds")) {
+            numSeeds = parseU64(arg, next());
+        } else if (!std::strcmp(arg, "--jobs")) {
+            jobs = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (!std::strcmp(arg, "--json")) {
+            jsonPath = next();
+        } else if (!std::strcmp(arg, "--gate")) {
+            gate = true;
+        } else if (!std::strcmp(arg, "--schedule")) {
+            custom.schedule = next();
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--legs")) {
+            custom.legs = static_cast<unsigned>(parseU64(arg, next()));
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--messages")) {
+            custom.messagesPerLeg =
+                static_cast<unsigned>(parseU64(arg, next()));
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--device-lines")) {
+            custom.deviceLines =
+                static_cast<unsigned>(parseU64(arg, next()));
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--locked")) {
+            custom.useCsb = false;
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--crash-leg")) {
+            custom.crashAfterLeg =
+                static_cast<int>(parseU64(arg, next()));
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--crash-ticks")) {
+            custom.crashAfterTicks = parseU64(arg, next());
+            haveCustom = true;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "faultcampaign: unknown option " << arg
+                      << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    std::vector<core::CampaignScenario> scenarios;
+    if (haveCustom) {
+        scenarios.push_back(custom);
+    } else {
+        std::vector<core::CampaignScenario> all = builtinScenarios();
+        if (list) {
+            for (const core::CampaignScenario &sc : all)
+                std::cout << sc.name << '\n';
+            return 0;
+        }
+        if (scenarioList == "all") {
+            scenarios = all;
+        } else {
+            std::stringstream ss(scenarioList);
+            std::string name;
+            while (std::getline(ss, name, ',')) {
+                bool found = false;
+                for (const core::CampaignScenario &sc : all) {
+                    if (sc.name == name) {
+                        scenarios.push_back(sc);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    std::cerr << "faultcampaign: unknown scenario '"
+                              << name << "' (try --list)\n";
+                    return 2;
+                }
+            }
+        }
+    }
+    if (scenarios.empty()) {
+        std::cerr << "faultcampaign: no scenarios selected\n";
+        return 2;
+    }
+
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 0; s < numSeeds; ++s)
+        seeds.push_back(firstSeed + s);
+
+    core::SweepRunner runner(jobs);
+    std::vector<std::vector<core::CampaignResult>> results;
+    bool allRecovered = true;
+    try {
+        for (const core::CampaignScenario &sc : scenarios) {
+            results.push_back(runner.map(
+                seeds, [&sc](std::uint64_t seed) {
+                    return core::runCampaign(sc, seed);
+                }));
+            for (const core::CampaignResult &r : results.back())
+                allRecovered = allRecovered && r.recovered;
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "faultcampaign: " << e.what() << "\n";
+        return 1;
+    }
+
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        core::renderCampaignTable(std::cout, scenarios[s], results[s],
+                                  seeds);
+        std::cout << '\n';
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream jf(jsonPath, std::ios::binary);
+        if (!jf) {
+            std::cerr << "faultcampaign: cannot write " << jsonPath
+                      << "\n";
+            return 1;
+        }
+        writeJson(jf, scenarios, results, seeds);
+    }
+
+    if (gate && !allRecovered) {
+        std::cerr << "faultcampaign: GATE FAILED -- at least one run "
+                     "did not recover cleanly\n";
+        return 1;
+    }
+    return 0;
+}

@@ -47,6 +47,10 @@ usage(std::ostream &os)
           "  --tokens N           mean tokens per context (default 12)\n"
           "  --drop-flush RATE    arm the CsbFlushDrop bug knob "
           "(self-test)\n"
+          "  --fault-schedule S   schedule for the scheduled-fault "
+          "axis\n"
+          "                       (docs/FAULTS.md grammar; 'none' "
+          "disables)\n"
           "  --no-shrink          report original failing cases "
           "unshrunk\n"
           "  --repro-dir DIR      write seed_<N>.litmus/.csbt repros "
@@ -117,6 +121,9 @@ main(int argc, char **argv)
             opts.tokensPerContext = unsigned(parseU64(arg, value()));
         } else if (!std::strcmp(arg, "--drop-flush")) {
             opts.dropFlushRate = parseF64(arg, value());
+        } else if (!std::strcmp(arg, "--fault-schedule")) {
+            const char *spec = value();
+            opts.faultSchedule = std::strcmp(spec, "none") ? spec : "";
         } else if (!std::strcmp(arg, "--no-shrink")) {
             opts.shrinkFailures = false;
         } else if (!std::strcmp(arg, "--repro-dir")) {

@@ -2,9 +2,9 @@
 """Validate a csbsim bench artifact against tools/bench_schema.json.
 
 Implements the small JSON-Schema subset the schema actually uses
-(type / const / required / properties / items) with the Python
-standard library only, so the check runs anywhere the simulator
-builds -- no jsonschema package required.
+(type / const / required / properties / additionalProperties / items)
+with the Python standard library only, so the check runs anywhere the
+simulator builds -- no jsonschema package required.
 
 Usage: validate_bench_json.py <artifact.json> [<schema.json>]
 Exit status 0 on success; 1 with a diagnostic on the first violation.
@@ -63,6 +63,14 @@ def validate(value, schema, path="$"):
         for key, sub in schema.get("properties", {}).items():
             if key in value:
                 validate(value[key], sub, f"{path}.{key}")
+        # Schema-object form only: validate keys not named in
+        # `properties` (e.g. the free-form scorecard metrics).
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            named = schema.get("properties", {})
+            for key, item in value.items():
+                if key not in named:
+                    validate(item, extra, f"{path}.{key}")
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
             validate(item, schema["items"], f"{path}[{i}]")
