@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Snooping interface between the system bus and cached masters.
+ *
+ * A coherent cached master registers itself with the bus as a
+ * Snooper.  When any coherent master needs a line (read miss), needs
+ * it exclusively (write miss) or needs to upgrade a shared copy
+ * before writing, it asks the bus to broadcast a snoop probe; the bus
+ * walks every *other* snooper synchronously (atomic-bus snooping: tag
+ * state settles in the same tick, latencies are charged separately)
+ * and aggregates their replies.  The reply tells the requester
+ * whether any other cache held the line (fill Shared vs Exclusive),
+ * whether an owner supplied it cache-to-cache, and whether a dirty
+ * copy was demand-written-back on the way.
+ *
+ * The probe vocabulary is deliberately protocol-neutral -- MESI,
+ * MOESI and update protocols all decide their transitions from these
+ * three observed bus events (see mem/coherence.hh for the policy
+ * side).
+ */
+
+#ifndef CSB_BUS_SNOOP_HH
+#define CSB_BUS_SNOOP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace csb::bus {
+
+/** Bus event a snoop probe announces to the other caches. */
+enum class SnoopKind : std::uint8_t {
+    Read,          ///< another master wants to read the line
+    ReadExclusive, ///< another master wants the line to write it
+    Upgrade,       ///< another master upgrades its Shared copy to write
+};
+
+const char *snoopKindName(SnoopKind kind);
+
+/** One cache's answer to a probe. */
+struct SnoopReply
+{
+    /** The snooped cache held a valid copy (a "snoop hit"). */
+    bool hadCopy = false;
+    /** The copy was supplied cache-to-cache (owner intervention). */
+    bool supplied = false;
+    /** A dirty copy was demand-written-back. */
+    bool wroteBack = false;
+    /** The copy was invalidated by the probe. */
+    bool invalidated = false;
+};
+
+/** Aggregated outcome of one broadcast, returned to the requester. */
+struct SnoopSummary
+{
+    /** Number of caches that held a copy. */
+    unsigned hits = 0;
+    /** At least one other cache held a copy. */
+    bool hadCopy = false;
+    /** An owner supplied the line cache-to-cache. */
+    bool supplied = false;
+    /** A dirty copy was demand-written-back. */
+    bool wroteBack = false;
+};
+
+/**
+ * A cached master that answers snoop probes.  snoopProbe() must apply
+ * the protocol transition to the local tags immediately and return
+ * what happened; it is never invoked for the requester's own probe.
+ */
+class Snooper
+{
+  public:
+    virtual ~Snooper() = default;
+
+    virtual SnoopReply snoopProbe(Addr line_addr, SnoopKind kind) = 0;
+};
+
+} // namespace csb::bus
+
+#endif // CSB_BUS_SNOOP_HH

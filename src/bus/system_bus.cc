@@ -21,6 +21,17 @@ txnKindName(TxnKind kind)
 }
 
 const char *
+snoopKindName(SnoopKind kind)
+{
+    switch (kind) {
+      case SnoopKind::Read: return "read";
+      case SnoopKind::ReadExclusive: return "read-excl";
+      case SnoopKind::Upgrade: return "upgrade";
+    }
+    return "?";
+}
+
+const char *
 busStatusName(BusStatus status)
 {
     switch (status) {
@@ -74,6 +85,16 @@ SystemBus::SystemBus(sim::Simulator &simulator, const BusParams &params,
                "transactions completed with a NACK status"),
       numErrors(this, "numErrors",
                 "transactions completed with an error status"),
+      snoopProbes(this, "snoopProbes", "snoop broadcasts issued"),
+      snoopHits(this, "snoopHits", "probed caches that held a copy"),
+      snoopMisses(this, "snoopMisses",
+                  "broadcasts no other cache had the line for"),
+      snoopInterventions(this, "snoopInterventions",
+                         "broadcasts supplied cache-to-cache"),
+      snoopInvalidations(this, "snoopInvalidations",
+                         "copies invalidated by broadcast probes"),
+      snoopWritebacks(this, "snoopWritebacks",
+                      "dirty copies demand-written-back by probes"),
       utilization(this, "utilization",
                   "busy fraction of elapsed bus cycles",
                   [this] {
@@ -173,7 +194,7 @@ bool
 SystemBus::requestWrite(MasterId master, Addr addr,
                         std::vector<std::uint8_t> data,
                         bool strongly_ordered, WriteCallback on_complete,
-                        StartCallback on_start)
+                        StartCallback on_start, bool snapshot_payload)
 {
     csb_assert(master < slots_.size(), "unknown master");
     if (slots_[master].has_value())
@@ -187,6 +208,7 @@ SystemBus::requestWrite(MasterId master, Addr addr,
     req.txn.master = master;
     req.txn.stronglyOrdered = strongly_ordered;
     req.txn.data = std::move(data);
+    req.txn.snapshotPayload = snapshot_payload;
     req.onWrite = std::move(on_complete);
     req.onStart = std::move(on_start);
     req.requestTick = sim_.curTick();
@@ -229,6 +251,56 @@ SystemBus::requestRead(MasterId master, Addr addr, unsigned size,
     }
     slots_[master] = std::move(req);
     return true;
+}
+
+void
+SystemBus::registerSnooper(Snooper *snooper)
+{
+    csb_assert(snooper != nullptr, "null snooper");
+    for (const Snooper *s : snoopers_)
+        csb_assert(s != snooper, "snooper registered twice");
+    snoopers_.push_back(snooper);
+}
+
+SnoopSummary
+SystemBus::snoopBroadcast(const Snooper *requester, Addr line_addr,
+                          SnoopKind kind)
+{
+    SnoopSummary summary;
+    snoopProbes += 1;
+    for (Snooper *snooper : snoopers_) {
+        if (snooper == requester)
+            continue;
+        SnoopReply reply = snooper->snoopProbe(line_addr, kind);
+        if (!reply.hadCopy)
+            continue;
+        ++summary.hits;
+        summary.hadCopy = true;
+        summary.supplied = summary.supplied || reply.supplied;
+        summary.wroteBack = summary.wroteBack || reply.wroteBack;
+        snoopHits += 1;
+        if (reply.invalidated)
+            snoopInvalidations += 1;
+        if (reply.wroteBack)
+            snoopWritebacks += 1;
+    }
+    if (!summary.hadCopy)
+        snoopMisses += 1;
+    if (summary.supplied)
+        snoopInterventions += 1;
+
+    sim::trace::log("bus", "snoop ", snoopKindName(kind), " addr=0x",
+                    std::hex, line_addr, std::dec, " hits=", summary.hits);
+    if (sim::trace::jsonEnabled()) {
+        sim::trace::jsonInstant(
+            "bus", std::string("snoop-") + snoopKindName(kind),
+            sim_.curTick(),
+            {{"addr", sim::trace::hexArg(line_addr)},
+             {"hits", std::to_string(summary.hits)},
+             {"supplied", summary.supplied ? "true" : "false"},
+             {"wroteBack", summary.wroteBack ? "true" : "false"}});
+    }
+    return summary;
 }
 
 bool

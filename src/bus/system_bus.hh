@@ -36,6 +36,7 @@
 
 #include "bus_monitor.hh"
 #include "bus_target.hh"
+#include "snoop.hh"
 #include "sim/clocked.hh"
 #include "sim/fault.hh"
 #include "sim/simulator.hh"
@@ -116,12 +117,14 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
 
     /**
      * Present a write request.
+     * @param snapshot_payload see BusTransaction::snapshotPayload
      * @return false when this master already has a pending request.
      */
     bool requestWrite(MasterId master, Addr addr,
                       std::vector<std::uint8_t> data, bool strongly_ordered,
                       WriteCallback on_complete,
-                      StartCallback on_start = {});
+                      StartCallback on_start = {},
+                      bool snapshot_payload = false);
 
     /** Present a read request.  @see requestWrite */
     bool requestRead(MasterId master, Addr addr, unsigned size,
@@ -130,6 +133,22 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
 
     /** @return true when the master may present a new request. */
     bool masterIdle(MasterId master) const;
+
+    /**
+     * Register a cached master for snooping.  Every registered snooper
+     * except the requester is probed on each snoopBroadcast().
+     */
+    void registerSnooper(Snooper *snooper);
+
+    /**
+     * Broadcast a snoop probe on behalf of @p requester to every other
+     * registered snooper and aggregate the replies.  Atomic-bus
+     * snooping: tag state settles synchronously within the call;
+     * latency is charged by the caller (upgrade / cache-to-cache
+     * knobs, demand write-backs travel as ordinary bus writes).
+     */
+    SnoopSummary snoopBroadcast(const Snooper *requester, Addr line_addr,
+                                SnoopKind kind);
 
     /**
      * @return true when a request presented now by @p master would
@@ -211,6 +230,18 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     sim::stats::Scalar numNacks;
     /** Transactions completed with BusStatus::Error. */
     sim::stats::Scalar numErrors;
+    /** Snoop probes broadcast (one per requesting miss/upgrade). */
+    sim::stats::Scalar snoopProbes;
+    /** Probed caches that held a copy, summed over broadcasts. */
+    sim::stats::Scalar snoopHits;
+    /** Broadcasts no other cache had the line for. */
+    sim::stats::Scalar snoopMisses;
+    /** Broadcasts answered by an owner cache-to-cache. */
+    sim::stats::Scalar snoopInterventions;
+    /** Copies invalidated by broadcast probes. */
+    sim::stats::Scalar snoopInvalidations;
+    /** Dirty copies demand-written-back by broadcast probes. */
+    sim::stats::Scalar snoopWritebacks;
     /** busyDataCycles over elapsed bus cycles (computed on demand). */
     sim::stats::Formula utilization;
 
@@ -282,6 +313,8 @@ class SystemBus : public sim::Clocked, public sim::stats::StatGroup
     unsigned inFlight_ = 0;
     /** Optional fault injector (not owned). */
     sim::FaultInjector *injector_ = nullptr;
+    /** Coherent cached masters, probed on every broadcast (not owned). */
+    std::vector<Snooper *> snoopers_;
 
     BusMonitor monitor_;
 };

@@ -58,6 +58,15 @@ struct BusTransaction
     bool stronglyOrdered = false;
     /** Write payload / read result. */
     std::vector<std::uint8_t> data;
+    /**
+     * The payload is a snapshot of bytes that are already current in
+     * the functional memory image (a cache-line spill: the tag model
+     * tracks dirtiness, but stores commit to PhysicalMemory directly).
+     * Functional targets must NOT re-apply such a payload -- it may be
+     * older than stores committed while the transaction was queued or
+     * retried -- but timing, stats and traces treat it as any write.
+     */
+    bool snapshotPayload = false;
     /** Unique id assigned by the bus at start. */
     std::uint64_t id = 0;
     /** Completion status (set by the bus before callbacks fire). */

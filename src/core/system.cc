@@ -29,6 +29,7 @@ SystemConfig::normalize()
         csb.validate();
     l1.validate();
     l2.validate();
+    coherence.validate();
     if (ubuf.combineBytes > lineBytes) {
         csb_fatal("uncached buffer combine block (", ubuf.combineBytes,
                   ") exceeds the cache line (", lineBytes, ")");
@@ -50,6 +51,9 @@ System::System(SystemConfig config)
     bus_ = std::make_unique<bus::SystemBus>(sim_, config_.bus, "bus", this);
     if (injector_)
         bus_->setFaultInjector(injector_.get());
+
+    // One stateless policy instance serves every hierarchy.
+    cohPolicy_ = mem::makeCoherencePolicy(config_.coherence.kind);
 
     mainMemory_ = std::make_unique<mem::MainMemory>(
         physMem_, config_.memReadLatency, "mem", this);
@@ -115,6 +119,16 @@ System::buildCoreSlice(unsigned cpu)
         sim_.eventQueue().scheduleFunc(when, std::move(fn));
     };
 
+    if (cohPolicy_) {
+        mem::CacheHierarchy *caches = slice.caches.get();
+        caches->setCoherence(
+            cohPolicy_.get(), config_.coherence,
+            [this, caches](Addr line_addr, bus::SnoopKind kind) {
+                return bus_->snoopBroadcast(caches, line_addr, kind);
+            });
+        bus_->registerSnooper(caches);
+    }
+
     if (config_.routeMissesOverBus) {
         slice.missMaster =
             bus_->registerMaster("cachemiss" + suffix + ".port");
@@ -169,14 +183,21 @@ System::buildCoreSlice(unsigned cpu)
             });
         slice.caches->setLineWriteback([this, miss_master,
                                         miss_retry](Addr line_addr) {
-            std::vector<std::uint8_t> data(config_.lineBytes);
-            physMem_.read(line_addr, data.data(), data.size());
             auto attempt =
                 std::make_shared<std::function<void(unsigned)>>();
             *attempt = [this, miss_master, line_addr, miss_retry,
-                        data = std::move(data), attempt](unsigned try_no) {
+                        attempt](unsigned try_no) {
+                // Capture the payload fresh on EVERY attempt, not once
+                // at eviction: stores may commit to the image while the
+                // spill waits for the port or retries after a NACK, and
+                // a stale capture would clobber them at completion.
+                // The payload is flagged as a snapshot so the memory
+                // counts it without re-applying it (see
+                // BusTransaction::snapshotPayload).
+                std::vector<std::uint8_t> data(config_.lineBytes);
+                physMem_.read(line_addr, data.data(), data.size());
                 bool ok = bus_->requestWrite(
-                    miss_master, line_addr, data,
+                    miss_master, line_addr, std::move(data),
                     /*strongly_ordered=*/false,
                     /*on_complete=*/
                     [this, attempt, try_no, miss_retry,
@@ -199,7 +220,8 @@ System::buildCoreSlice(unsigned cpu)
                             [attempt, try_no] {
                                 (*attempt)(try_no + 1);
                             });
-                    });
+                    },
+                    /*on_start=*/{}, /*snapshot_payload=*/true);
                 if (!ok) {
                     sim_.eventQueue().scheduleFunc(
                         sim_.curTick() + 1,
@@ -432,6 +454,9 @@ configFingerprint(const SystemConfig &c)
         {"csbDegradedFallback",
          c.enableCsb && c.csb.degradedFallback ? 1u : 0u},
         {"niLinkReset", c.enableNi && c.ni.linkReset ? 1u : 0u},
+        {"coherenceKind", static_cast<std::uint64_t>(c.coherence.kind)},
+        {"cohUpgradeLatency", c.coherence.upgradeLatency},
+        {"cohCacheToCacheLatency", c.coherence.cacheToCacheLatency},
     };
 }
 

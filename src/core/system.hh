@@ -181,6 +181,8 @@ class System : public sim::stats::StatGroup
 
     std::unique_ptr<sim::FaultInjector> injector_;
     std::unique_ptr<bus::SystemBus> bus_;
+    /** Shared coherence policy; null when coherence.kind is None. */
+    std::unique_ptr<mem::CoherencePolicy> cohPolicy_;
     std::unique_ptr<mem::MainMemory> mainMemory_;
     std::unique_ptr<io::BurstDevice> device_;
     std::unique_ptr<io::NetworkInterface> ni_;

@@ -32,11 +32,19 @@ struct SystemConfig
      * Processors on the shared bus (SMP node, as in the paper's
      * motivation).  Each core gets a private TLB, cache hierarchy,
      * uncached buffer and CSB; bus, memory and devices are shared.
-     * NOTE: cache coherence is not modelled -- multi-core workloads
-     * must not share writable cached data (uncached/CSB I/O sharing
-     * is fine; that is the point of the experiments).
+     * Multi-core workloads that share writable cached data need a
+     * coherence protocol -- set coherence.kind (default None keeps
+     * the legacy private-cache semantics, where sharing cached
+     * writable lines between cores is a workload bug).
      */
     unsigned numCores = 1;
+
+    /**
+     * Snooping cache coherence across the per-core hierarchies
+     * (mem/coherence.hh).  None by default: single-core systems need
+     * no snooping and all legacy artifacts stay byte-identical.
+     */
+    mem::CoherenceParams coherence;
 
     bus::BusParams bus;
 

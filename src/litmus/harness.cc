@@ -43,6 +43,12 @@ runDirective(const RunSpec &spec)
     // entries render unchanged.
     if (!spec.schedule.empty())
         os << " schedule=" << spec.schedule;
+    // Likewise omitted when unset so pre-coherence entries round-trip
+    // byte-for-byte.
+    if (spec.coherent)
+        os << " coherent=1";
+    if (spec.smallCaches)
+        os << " tiny-caches=1";
     return os.str();
 }
 
@@ -96,6 +102,10 @@ parseRunDirective(const std::string &line)
             spec.dropFlushRate = std::stod(val);
         } else if (key == "schedule") {
             spec.schedule = val;
+        } else if (key == "coherent") {
+            spec.coherent = std::stoull(val, nullptr, 0) != 0;
+        } else if (key == "tiny-caches") {
+            spec.smallCaches = std::stoull(val, nullptr, 0) != 0;
         } else {
             csb_fatal("litmus corpus: unknown run field '", key, "'");
         }
@@ -288,6 +298,16 @@ specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate,
                     spec.faultSeed = (seed ^ 0x7a017a01u) | 1;
                     spec.dropFlushRate = drop_flush_rate;
                     specs.push_back(spec);
+                    // Coherent SMP flavor: the same point with
+                    // snooping MESI attached and tiny caches so dirty
+                    // lines actually spill and get snooped mid-run.
+                    // Every differential observable must stay
+                    // invariant -- coherence is timing/state only.
+                    if (!sched && contexts > 1) {
+                        spec.coherent = true;
+                        spec.smallCaches = true;
+                        specs.push_back(spec);
+                    }
                 }
             }
         }
@@ -303,6 +323,11 @@ specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate,
     Tick quantum = 120 + Tick(rng.uniform(0, 280));
     bool faults = rng.uniform(0, 3) == 0;
     bool scheduled = !fault_schedule.empty() && rng.uniform(0, 3) == 0;
+    // New axes draw LAST (and unconditionally) so earlier seeds keep
+    // their historical shapes and every seed consumes the same stream.
+    bool coherent_draw = rng.chance(0.5);
+    bool tiny = rng.uniform(0, 3) == 0;
+    bool coherent = coherent_draw && contexts > 1 && !sched;
     for (Scheme scheme : kSchemes) {
         RunSpec spec;
         spec.scheme = scheme;
@@ -313,6 +338,8 @@ specsForSeed(std::uint64_t seed, bool full_matrix, double drop_flush_rate,
             spec.schedule = fault_schedule;
         spec.faultSeed = (seed ^ 0x7a017a01u) | 1;
         spec.dropFlushRate = drop_flush_rate;
+        spec.coherent = coherent;
+        spec.smallCaches = tiny;
         specs.push_back(spec);
     }
     return specs;

@@ -49,6 +49,10 @@ RunSpec::name() const
         os << "/scheduled";
     if (dropFlushRate > 0)
         os << "/drop-flush";
+    if (coherent)
+        os << "/mesi";
+    if (smallCaches)
+        os << "/tiny";
     return os.str();
 }
 
@@ -93,6 +97,15 @@ configFor(const RunSpec &spec, unsigned contexts)
     if (spec.dropFlushRate > 0) {
         cfg.faults.seed = spec.faultSeed;
         cfg.faults.csbFlushDropRate = spec.dropFlushRate;
+    }
+    if (spec.coherent)
+        cfg.coherence.kind = mem::CoherenceKind::Mesi;
+    if (spec.smallCaches) {
+        // Two direct-mapped sets per level: consecutive arena lines
+        // collide, so dirty evictions (and, under Dma, bus writebacks
+        // of in-flight lines) happen constantly instead of never.
+        cfg.l1 = mem::CacheParams{128, 1, cfg.lineBytes, /*hitLatency=*/2};
+        cfg.l2 = mem::CacheParams{128, 1, cfg.lineBytes, /*hitLatency=*/8};
     }
     // Livelock (e.g. a retry loop that never converges) must surface
     // as a diagnosable failure, not a hung harness.
@@ -147,6 +160,11 @@ runCase(const TestCase &tc, const RunSpec &spec,
 
     std::size_t contexts = tc.contexts.size();
     csb_assert(contexts > 0, "litmus: empty case");
+    // The sequential reference is only an oracle because contexts
+    // touch disjoint arenas/windows; reject (loudly, with the exact
+    // token) any case that breaks that assumption instead of letting
+    // it silently invalidate every verdict.
+    tc.validateDisjointness();
 
     std::vector<isa::Program> programs;
     programs.reserve(contexts);

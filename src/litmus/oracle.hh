@@ -75,6 +75,20 @@ struct RunSpec
      * expected to FAIL -- the harness's self-test of itself.
      */
     double dropFlushRate = 0;
+    /**
+     * Run the SMP variant with snooping MESI coherence attached
+     * (SystemConfig::coherence).  Coherence is a timing/state model --
+     * the differential observables must stay invariant under it, which
+     * is exactly what this axis checks.
+     */
+    bool coherent = false;
+    /**
+     * Shrink both cache levels to two direct-mapped sets so the
+     * per-context arenas conflict and dirty lines spill over the bus
+     * mid-run (the PR-8 writeback-payload staleness area; with the
+     * default geometry litmus arenas never evict at all).
+     */
+    bool smallCaches = false;
 
     /** Stable key used in reports and corpus files, e.g. "csb/smp". */
     std::string name() const;

@@ -185,6 +185,70 @@ lowerContext(const TestCase &tc, std::size_t ctx)
     return p;
 }
 
+// Layout invariants "disjoint by construction" rests on: every span a
+// context can touch fits strictly inside its per-context stride, so
+// neighbouring contexts can never overlap no matter what in-range
+// indices the generator draws.
+static_assert(arenaBase(1) - arenaBase(0) >= arenaBytes,
+              "arena stride must cover the touchable arena span");
+static_assert(numSlots * 8 <= arenaBytes,
+              "slot indices must stay inside the arena span");
+static_assert(numSlots * 8 <= 0x1000,
+              "slot indices must stay inside the uncached-window stride");
+static_assert((numLines - 1) * 64 + maxBurstStores * 8 <= 0x1000,
+              "a max burst must stay inside the CSB-window stride");
+
+void
+TestCase::validateDisjointness() const
+{
+    constexpr Addr windowStride = 0x1000;
+    constexpr std::size_t maxContexts =
+        core::System::ioRegionSize / windowStride;
+    if (contexts.size() > maxContexts)
+        csb_fatal("litmus disjointness: ", contexts.size(),
+                  " contexts exceed the ", maxContexts,
+                  " disjoint device windows the I/O regions provide");
+    if (!contexts.empty() &&
+        arenaBase(contexts.size() - 1) + arenaBytes >
+            core::System::ramBase + core::System::ramSize)
+        csb_fatal("litmus disjointness: arena of context ",
+                  contexts.size() - 1, " falls outside RAM");
+
+    for (std::size_t ctx = 0; ctx < contexts.size(); ++ctx) {
+        const ContextProgram &cp = contexts[ctx];
+        for (std::size_t i = 0; i < cp.tokens.size(); ++i) {
+            const Token &t = cp.tokens[i];
+            auto fail = [&](const auto &...why) {
+                // A minimal single-token repro: paste into a .litmus
+                // file (or fromText) to reproduce the rejection.
+                TestCase repro;
+                repro.seed = seed;
+                repro.contexts.push_back(ContextProgram{cp.pid, {t}});
+                csb_fatal("litmus disjointness: context ", ctx,
+                          " token ", i, " (", tokenKindName(t.kind),
+                          "): ", why..., "; minimal repro:\n",
+                          repro.toText());
+            };
+            if ((usesArena(t) || usesUncached(t)) && t.slot >= numSlots)
+                fail("slot ", unsigned(t.slot), " >= ", numSlots,
+                     " escapes the per-context window");
+            if (usesCsb(t) && t.line >= numLines)
+                fail("line ", unsigned(t.line), " >= ", numLines,
+                     " escapes the per-context CSB window");
+            if ((t.kind == TokenKind::CsbBurst ||
+                 t.kind == TokenKind::UnflushedStores) &&
+                (t.nStores < 1 || t.nStores > maxBurstStores))
+                fail("burst of ", unsigned(t.nStores),
+                     " stores outside 1..", maxBurstStores);
+            bool sized = usesArena(t) || t.kind == TokenKind::UncachedStore ||
+                         t.kind == TokenKind::CsbBurst ||
+                         t.kind == TokenKind::UnflushedStores;
+            if (sized && t.size != 1 && t.size != 4 && t.size != 8)
+                fail("access size ", unsigned(t.size), " is not 1/4/8");
+        }
+    }
+}
+
 std::size_t
 TestCase::loweredInstructionCount() const
 {

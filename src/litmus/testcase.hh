@@ -132,6 +132,20 @@ struct TestCase
 
     /** Total instructions the lowered contexts contain. */
     std::size_t loweredInstructionCount() const;
+
+    /**
+     * Enforce the disjoint-arena assumption the sequential reference
+     * depends on: every token must index inside its context's own
+     * arena / window (slot < numSlots, line < numLines, burst length
+     * and size legal) and the contexts must fit the per-context
+     * address strides.  Lowering masks indices defensively, so an
+     * out-of-range token would otherwise wrap SILENTLY into a valid --
+     * but unintended -- location; a future shared-location mode that
+     * forgot to bypass the oracle would corrupt every verdict without
+     * a diagnostic.  Throws FatalError naming the offending token and
+     * a minimal single-token repro case.
+     */
+    void validateDisjointness() const;
 };
 
 /**

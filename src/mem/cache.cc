@@ -62,6 +62,8 @@ Cache::access(Addr addr, bool is_write)
     if (Line *line = findLine(addr)) {
         line->lastUse = useClock_;
         line->dirty = line->dirty || is_write;
+        if (is_write)
+            line->shared = false; // S -> M; the hierarchy upgrades first
         result.hit = true;
         ++hits;
         return result;
@@ -90,6 +92,7 @@ Cache::access(Addr addr, bool is_write)
     victim->tag = tag;
     victim->valid = true;
     victim->dirty = is_write;
+    victim->shared = false; // fills land E/M; Shared is overlaid after
     victim->lastUse = useClock_;
     return result;
 }
@@ -104,14 +107,28 @@ void
 Cache::invalidate(Addr addr)
 {
     if (Line *line = findLine(addr))
-        line->valid = false;
+        line->setState(LineState::Invalid);
 }
 
 void
 Cache::flushAll()
 {
     for (Line &line : lines_)
-        line.valid = false;
+        line.setState(LineState::Invalid);
+}
+
+LineState
+Cache::lineState(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->state() : LineState::Invalid;
+}
+
+void
+Cache::setLineState(Addr addr, LineState state)
+{
+    if (Line *line = findLine(addr))
+        line->setState(state);
 }
 
 void
@@ -121,8 +138,12 @@ Cache::checkpointSave(sim::CheckpointWriter &cw) const
     cw.putU64(lines_.size());
     for (const Line &line : lines_) {
         cw.putU64(line.tag);
-        cw.putU8(line.valid ? 1 : 0);
-        cw.putU8(line.dirty ? 1 : 0);
+        // One flags byte: bit0 valid, bit1 dirty, bit2 shared
+        // (docs/CHECKPOINT.md).
+        std::uint8_t flags = (line.valid ? 1u : 0u) |
+                             (line.dirty ? 2u : 0u) |
+                             (line.shared ? 4u : 0u);
+        cw.putU8(flags);
         cw.putU64(line.lastUse);
     }
 }
@@ -138,8 +159,10 @@ Cache::checkpointRestore(sim::CheckpointReader &cr)
                   " -- geometry mismatch");
     for (Line &line : lines_) {
         line.tag = cr.getU64();
-        line.valid = cr.getU8() != 0;
-        line.dirty = cr.getU8() != 0;
+        std::uint8_t flags = cr.getU8();
+        line.valid = (flags & 1) != 0;
+        line.dirty = (flags & 2) != 0;
+        line.shared = (flags & 4) != 0;
         line.lastUse = cr.getU64();
     }
 }
@@ -148,17 +171,135 @@ CacheHierarchy::CacheHierarchy(const CacheParams &l1, const CacheParams &l2,
                                Tick mem_latency, std::string name,
                                sim::stats::StatGroup *stat_parent)
     : sim::stats::StatGroup(std::move(name), stat_parent),
+      upgrades(this, "upgrades",
+               "S->M upgrade broadcasts issued"),
+      cacheToCacheFills(this, "cacheToCacheFills",
+                        "fills supplied by another cache"),
+      snoopHits(this, "snoopHits",
+                "snoop probes answered with a valid copy"),
+      snoopInvalidations(this, "snoopInvalidations",
+                         "local copies invalidated by remote probes"),
+      snoopWritebacks(this, "snoopWritebacks",
+                      "dirty copies demand-written-back on probes"),
       l1_(l1, "l1", this), l2_(l2, "l2", this), memLatency_(mem_latency)
 {
+}
+
+void
+CacheHierarchy::setCoherence(const CoherencePolicy *policy,
+                             const CoherenceParams &params,
+                             SnoopBroadcast broadcast)
+{
+    csb_assert(policy && broadcast,
+               "setCoherence needs a policy and a broadcast hook");
+    cohPolicy_ = policy;
+    cohParams_ = params;
+    snoopBroadcast_ = std::move(broadcast);
+}
+
+LineState
+CacheHierarchy::lineState(Addr addr) const
+{
+    LineState a = l1_.lineState(addr);
+    LineState b = l2_.lineState(addr);
+    return static_cast<unsigned>(a) >= static_cast<unsigned>(b) ? a : b;
+}
+
+CacheHierarchy::CohOutcome
+CacheHierarchy::coherentPre(Addr addr, bool is_write)
+{
+    CohOutcome o;
+    if (!cohPolicy_)
+        return o;
+
+    Addr line = roundDown(addr, l2_.params().lineBytes);
+    LineState st = lineState(line);
+    if (st == LineState::Invalid) {
+        // Full-hierarchy miss: announce the fill so owners downgrade
+        // (Read) or every copy dies (ReadExclusive) before we fill.
+        bus::SnoopSummary sum = snoopBroadcast_(
+            line, is_write ? bus::SnoopKind::ReadExclusive
+                           : bus::SnoopKind::Read);
+        o.isFill = true;
+        o.supplied = sum.supplied;
+        LineState fill = cohPolicy_->fillState(is_write, sum.hadCopy);
+        o.fillShared = fill == LineState::Shared;
+        if (o.supplied)
+            ++cacheToCacheFills;
+        return o;
+    }
+    if (is_write && cohPolicy_->writeNeedsUpgrade(st)) {
+        snoopBroadcast_(line, bus::SnoopKind::Upgrade);
+        ++upgrades;
+        o.extra = cohParams_.upgradeLatency;
+    }
+    return o;
+}
+
+void
+CacheHierarchy::applyFill(Addr addr, const CohOutcome &o)
+{
+    if (!cohPolicy_)
+        return;
+    Addr line = roundDown(addr, l2_.params().lineBytes);
+    if (o.isFill) {
+        if (o.fillShared) {
+            l1_.setLineState(line, LineState::Shared);
+            l2_.setLineState(line, LineState::Shared);
+        }
+        return;
+    }
+    // An L1 refill from a Shared L2 copy must stay Shared, or a later
+    // write to the seemingly-Exclusive L1 line would skip the upgrade
+    // broadcast and leave stale remote copies behind.
+    if (l2_.lineState(line) == LineState::Shared &&
+        l1_.lineState(line) == LineState::Exclusive) {
+        l1_.setLineState(line, LineState::Shared);
+    }
+}
+
+bus::SnoopReply
+CacheHierarchy::snoopProbe(Addr line_addr, bus::SnoopKind kind)
+{
+    csb_assert(cohPolicy_, "snoopProbe on a non-coherent hierarchy");
+    bus::SnoopReply reply;
+    LineState st = lineState(line_addr);
+    if (st == LineState::Invalid)
+        return reply;
+
+    SnoopAction act = cohPolicy_->snoop(st, kind);
+    reply.hadCopy = true;
+    reply.supplied = act.supply;
+    reply.wroteBack = act.writeback;
+    reply.invalidated = act.next == LineState::Invalid;
+
+    ++snoopHits;
+    if (act.writeback) {
+        ++snoopWritebacks;
+        // Demand write-back: memory stops being behind the owner.  The
+        // payload is a snapshot of an image stores keep current, so
+        // this is pure bus traffic (BusTransaction::snapshotPayload).
+        if (lineWriteback_)
+            lineWriteback_(line_addr);
+    }
+    if (reply.invalidated)
+        ++snoopInvalidations;
+
+    l1_.setLineState(line_addr, act.next);
+    l2_.setLineState(line_addr, act.next);
+    return reply;
 }
 
 Tick
 CacheHierarchy::accessLatency(Addr addr, bool is_write)
 {
-    Tick latency = l1_.params().hitLatency;
+    CohOutcome coh = coherentPre(addr, is_write);
+    Tick latency = coh.extra + l1_.params().hitLatency;
     Cache::AccessResult r1 = l1_.access(addr, is_write);
-    if (r1.hit)
+    if (r1.hit) {
+        applyFill(addr, coh);
         return latency;
+    }
 
     // The L1 is write-back; a dirty victim moves into the L2.
     if (r1.writeback)
@@ -166,13 +307,20 @@ CacheHierarchy::accessLatency(Addr addr, bool is_write)
 
     latency += l2_.params().hitLatency;
     Cache::AccessResult r2 = l2_.access(addr, /*is_write=*/false);
-    if (r2.hit)
+    if (r2.hit) {
+        applyFill(addr, coh);
         return latency;
+    }
 
     if (r2.writeback && lineWriteback_)
         lineWriteback_(roundDown(r2.writebackAddr, l2_.params().lineBytes));
 
-    return latency + memLatency_;
+    applyFill(addr, coh);
+    // A cache-to-cache intervention beats DRAM on the fixed-latency
+    // path; bus-routed fetches keep the bus's own timing.
+    Tick fill = coh.supplied ? cohParams_.cacheToCacheLatency
+                             : memLatency_;
+    return latency + fill;
 }
 
 void
@@ -181,9 +329,11 @@ CacheHierarchy::access(Addr addr, bool is_write, Tick now,
 {
     csb_assert(deferredCall, "CacheHierarchy::access needs deferredCall");
 
-    Tick latency = l1_.params().hitLatency;
+    CohOutcome coh = coherentPre(addr, is_write);
+    Tick latency = coh.extra + l1_.params().hitLatency;
     Cache::AccessResult r1 = l1_.access(addr, is_write);
     if (r1.hit) {
+        applyFill(addr, coh);
         deferredCall(now + latency, [done, t = now + latency] { done(t); });
         return;
     }
@@ -193,12 +343,14 @@ CacheHierarchy::access(Addr addr, bool is_write, Tick now,
     latency += l2_.params().hitLatency;
     Cache::AccessResult r2 = l2_.access(addr, /*is_write=*/false);
     if (r2.hit) {
+        applyFill(addr, coh);
         deferredCall(now + latency, [done, t = now + latency] { done(t); });
         return;
     }
     if (r2.writeback && lineWriteback_)
         lineWriteback_(roundDown(r2.writebackAddr, l2_.params().lineBytes));
 
+    applyFill(addr, coh);
     if (lineFetch_) {
         // Route the fill over the bus: completion when the line read
         // returns, plus the lookup latencies already charged.
@@ -208,7 +360,9 @@ CacheHierarchy::access(Addr addr, bool is_write, Tick now,
             done(fill_done > lookup_done ? fill_done : lookup_done);
         });
     } else {
-        Tick t = now + latency + memLatency_;
+        Tick fill = coh.supplied ? cohParams_.cacheToCacheLatency
+                                 : memLatency_;
+        Tick t = now + latency + fill;
         deferredCall(t, [done, t] { done(t); });
     }
 }

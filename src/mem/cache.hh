@@ -9,6 +9,15 @@
  * precisely, while a miss costs the level's fill latency.  Misses may
  * optionally be routed over the system bus as line reads so that they
  * compete with uncached traffic.
+ *
+ * Multi-core systems may attach a snooping CoherencePolicy (MESI by
+ * default, docs/ARCHITECTURE.md).  Each line then carries a full
+ * MESI state, encoded as the legacy valid/dirty pair plus a `shared`
+ * overlay bit: Invalid = !valid, Modified = dirty, Shared = clean +
+ * shared, Exclusive = clean + !shared.  Without a policy the shared
+ * bit is never set and every code path below is bit-identical to the
+ * pre-coherence caches -- that is what keeps single-core artifacts
+ * byte-stable (DESIGN.md).
  */
 
 #ifndef CSB_MEM_CACHE_HH
@@ -19,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "bus/snoop.hh"
+#include "mem/coherence.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -75,10 +86,20 @@ class Cache : public sim::stats::StatGroup
     /** Invalidate everything. */
     void flushAll();
 
+    /** Coherence state of the line holding @p addr (no LRU update). */
+    LineState lineState(Addr addr) const;
+
+    /**
+     * Force the line holding @p addr into @p state (snoop/fill
+     * transitions; no LRU update, no stats).  A miss is a no-op
+     * unless @p state is Invalid, which is always a no-op on a miss.
+     */
+    void setLineState(Addr addr, LineState state);
+
     const CacheParams &params() const { return params_; }
 
     /**
-     * Serialize tag/valid/dirty/LRU state (not stats -- those travel
+     * Serialize tag/state/LRU per line (not stats -- those travel
      * with the stats tree).  Restore verifies identical geometry.
      */
     void checkpointSave(sim::CheckpointWriter &cw) const;
@@ -94,7 +115,27 @@ class Cache : public sim::stats::StatGroup
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
+        /** Coherence overlay: another cache also holds this line. */
+        bool shared = false;
         std::uint64_t lastUse = 0;
+
+        LineState
+        state() const
+        {
+            if (!valid)
+                return LineState::Invalid;
+            if (dirty)
+                return LineState::Modified;
+            return shared ? LineState::Shared : LineState::Exclusive;
+        }
+
+        void
+        setState(LineState s)
+        {
+            valid = s != LineState::Invalid;
+            dirty = s == LineState::Modified;
+            shared = s == LineState::Shared;
+        }
     };
 
     unsigned numSets_ = 0;
@@ -113,8 +154,13 @@ class Cache : public sim::stats::StatGroup
  * Miss handling beyond the L2 goes through a pluggable line-fetch
  * function so the owning System can route it over the system bus; by
  * default a fixed memory latency is charged.
+ *
+ * With a coherence policy attached (setCoherence) the hierarchy is
+ * one snoopable coherence unit: probes from other masters transition
+ * both levels, misses broadcast Read/ReadExclusive probes before
+ * filling, and a write hit on a Shared line broadcasts an Upgrade.
  */
-class CacheHierarchy : public sim::stats::StatGroup
+class CacheHierarchy : public sim::stats::StatGroup, public bus::Snooper
 {
   public:
     /** fetch(line_addr, done): read a line; call done when complete. */
@@ -122,6 +168,9 @@ class CacheHierarchy : public sim::stats::StatGroup
         std::function<void(Addr line_addr, std::function<void(Tick)> done)>;
     /** writeback(line_addr): fire-and-forget dirty eviction. */
     using LineWriteback = std::function<void(Addr line_addr)>;
+    /** Broadcast a snoop probe to every other cached master. */
+    using SnoopBroadcast =
+        std::function<bus::SnoopSummary(Addr line_addr, bus::SnoopKind)>;
 
     CacheHierarchy(const CacheParams &l1, const CacheParams &l2,
                    Tick mem_latency, std::string name = "caches",
@@ -154,7 +203,28 @@ class CacheHierarchy : public sim::stats::StatGroup
         lineWriteback_ = std::move(writeback);
     }
 
-    /** Warm both levels so a subsequent access to @p addr hits in L1. */
+    /**
+     * Attach a snooping coherence policy.  @p broadcast is invoked
+     * synchronously on misses and upgrades and must probe every other
+     * coherent hierarchy (the SystemBus provides it).  @p policy is
+     * borrowed and must outlive the hierarchy.
+     */
+    void setCoherence(const CoherencePolicy *policy,
+                      const CoherenceParams &params,
+                      SnoopBroadcast broadcast);
+
+    bool coherent() const { return cohPolicy_ != nullptr; }
+
+    /** Strongest coherence state either level holds for @p addr. */
+    LineState lineState(Addr addr) const;
+
+    /** bus::Snooper: apply @p kind to both levels, report what
+     *  happened.  A Modified copy demand-writes-back via the
+     *  line-writeback hook before downgrading. */
+    bus::SnoopReply snoopProbe(Addr line_addr, bus::SnoopKind kind) override;
+
+    /** Warm both levels so a subsequent access to @p addr hits in L1.
+     *  Test/bench helper; bypasses the snoop path. */
     void touch(Addr addr);
 
     /** Evict @p addr from both levels (forces a miss). */
@@ -168,12 +238,45 @@ class CacheHierarchy : public sim::stats::StatGroup
     void checkpointSave(sim::CheckpointWriter &cw) const;
     void checkpointRestore(sim::CheckpointReader &cr);
 
+    // Coherence statistics (zero and inert without a policy).
+    /** Upgrade broadcasts issued (local write hit on a Shared line). */
+    sim::stats::Scalar upgrades;
+    /** Fills supplied cache-to-cache by another hierarchy. */
+    sim::stats::Scalar cacheToCacheFills;
+    /** Probes this hierarchy answered with a valid copy. */
+    sim::stats::Scalar snoopHits;
+    /** Local copies invalidated by remote probes. */
+    sim::stats::Scalar snoopInvalidations;
+    /** Dirty copies demand-written-back on remote probes. */
+    sim::stats::Scalar snoopWritebacks;
+
   private:
+    /** Outcome of the coherence pre-check of one access. */
+    struct CohOutcome
+    {
+        /** Extra ticks (upgrade broadcast round-trip). */
+        Tick extra = 0;
+        /** The access is a full-hierarchy fill. */
+        bool isFill = false;
+        /** Another cache supplies the fill (intervention). */
+        bool supplied = false;
+        /** The fill lands Shared (another cache keeps a copy). */
+        bool fillShared = false;
+    };
+
+    /** Broadcast probes / decide fill state before touching tags. */
+    CohOutcome coherentPre(Addr addr, bool is_write);
+    /** Overlay the Shared fill state after the tags were filled. */
+    void applyFill(Addr addr, const CohOutcome &o);
+
     Cache l1_;
     Cache l2_;
     Tick memLatency_;
     LineFetch lineFetch_;
     LineWriteback lineWriteback_;
+    const CoherencePolicy *cohPolicy_ = nullptr;
+    CoherenceParams cohParams_;
+    SnoopBroadcast snoopBroadcast_;
     /** Pending completions are scheduled via this hook (set by System). */
   public:
     /** Scheduler used for delayed completions; set by the System. */

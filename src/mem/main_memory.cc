@@ -15,7 +15,12 @@ MainMemory::MainMemory(PhysicalMemory &storage, Tick read_latency,
 void
 MainMemory::write(const bus::BusTransaction &txn, Tick)
 {
-    storage_.write(txn.addr, txn.data.data(), txn.data.size());
+    // A snapshot payload (cache-line spill) describes bytes the image
+    // already holds; re-applying it could clobber stores that
+    // committed while the spill was queued or retried.  It still
+    // counts: the wire carried it either way.
+    if (!txn.snapshotPayload)
+        storage_.write(txn.addr, txn.data.data(), txn.data.size());
     ++writes;
 }
 

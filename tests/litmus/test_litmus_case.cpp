@@ -107,6 +107,56 @@ TEST(LitmusCase, LoweringIsPureAndCountsMatch)
     EXPECT_EQ(tc.loweredInstructionCount(), total);
 }
 
+TEST(LitmusCase, DisjointnessHoldsForGeneratedCases)
+{
+    // The guard is a no-op on everything the generator can draw --
+    // disjointness is by construction; the validator only exists to
+    // make the assumption loud if a future mode breaks it.
+    for (std::uint64_t seed = 1; seed <= 100; ++seed)
+        EXPECT_NO_THROW(generate(seed).validateDisjointness()) << seed;
+}
+
+TEST(LitmusCase, DisjointnessGuardRejectsEscapingTokens)
+{
+    // Lowering masks out-of-range indices (slot % numSlots), so a
+    // hand-edited or future shared-location case would silently wrap
+    // into a *valid but unintended* location; the guard must reject
+    // the raw fields instead.
+    TestCase tc;
+    tc.contexts.push_back(
+        {1, {Token{TokenKind::CachedStore, 8, 0, 1, /*slot=*/200, 1}}});
+    EXPECT_THROW(tc.validateDisjointness(), FatalError);
+
+    tc.contexts[0].tokens[0] =
+        Token{TokenKind::CsbBurst, 8, /*line=*/numLines, 1, 0, 1};
+    EXPECT_THROW(tc.validateDisjointness(), FatalError);
+
+    tc.contexts[0].tokens[0] = Token{TokenKind::CsbBurst, 8, 0,
+                                     /*nStores=*/maxBurstStores + 1, 0, 1};
+    EXPECT_THROW(tc.validateDisjointness(), FatalError);
+
+    tc.contexts[0].tokens[0] =
+        Token{TokenKind::UncachedStore, /*size=*/3, 0, 1, 0, 1};
+    EXPECT_THROW(tc.validateDisjointness(), FatalError);
+
+    // The rejection message must carry a pasteable single-token repro.
+    tc.contexts[0].tokens[0] =
+        Token{TokenKind::CachedStore, 8, 0, 1, /*slot=*/200, 1};
+    try {
+        tc.validateDisjointness();
+        FAIL() << "guard did not fire";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("slot=200"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // In-range fields pass.
+    tc.contexts[0].tokens[0] = Token{TokenKind::CachedStore, 8, 0, 1,
+                                     /*slot=*/numSlots - 1, 1};
+    EXPECT_NO_THROW(tc.validateDisjointness());
+}
+
 TEST(LitmusCase, MinimalBurstLowersSmall)
 {
     // The shrinker's target shape: one single-store checked burst must
