@@ -7,6 +7,7 @@
 #define CSB_CPU_ARCH_STATE_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "isa/instruction.hh"
@@ -57,18 +58,103 @@ struct ArchState
 
 /**
  * Pure functional evaluation of an ALU operation.
+ *
+ * Defined inline so the translated fast path (cpu/translator.hh) can
+ * instantiate it with a compile-time opcode: the switch folds away and
+ * each micro-op handler becomes straight-line code, while the
+ * interpreter, the core and the reference executor keep calling it
+ * with a runtime opcode.  One definition serves every execution
+ * engine -- the differential tests depend on that.
+ *
  * @param op  the opcode (must be an IntAlu or FpAlu class op)
  * @param a   first source value (raw bits)
  * @param b   second source value or immediate (raw bits)
  * @return result bits
  */
-std::uint64_t evalAlu(isa::Opcode op, std::uint64_t a, std::uint64_t b);
+inline std::uint64_t
+evalAlu(isa::Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using isa::Opcode;
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    auto asDouble = [](std::uint64_t bits) {
+        return std::bit_cast<double>(bits);
+    };
+    auto asBits = [](double value) {
+        return std::bit_cast<std::uint64_t>(value);
+    };
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return a + b;
+      case Opcode::Sub:
+        return a - b;
+      case Opcode::And:
+      case Opcode::Andi:
+        return a & b;
+      case Opcode::Or:
+      case Opcode::Ori:
+        return a | b;
+      case Opcode::Xor:
+      case Opcode::Xori:
+        return a ^ b;
+      case Opcode::Sll:
+      case Opcode::Slli:
+        return a << (b & 63);
+      case Opcode::Srl:
+      case Opcode::Srli:
+        return a >> (b & 63);
+      case Opcode::Sra:
+        return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::Mul:
+        return a * b;
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return sa < sb ? 1 : 0;
+      case Opcode::Sltu:
+        return a < b ? 1 : 0;
+      case Opcode::Li:
+        return b;
+      case Opcode::Fadd:
+        return asBits(asDouble(a) + asDouble(b));
+      case Opcode::Fsub:
+        return asBits(asDouble(a) - asDouble(b));
+      case Opcode::Fmul:
+        return asBits(asDouble(a) * asDouble(b));
+      case Opcode::Fmov:
+      case Opcode::Mvi2f:
+      case Opcode::Mvf2i:
+        return a;
+      case Opcode::Fitod:
+        return asBits(static_cast<double>(sa));
+      default:
+        csb_panic("evalAlu: non-ALU opcode ", isa::mnemonic(op));
+    }
+}
 
 /**
- * Evaluate a branch condition.
+ * Evaluate a branch condition.  Inline for the same reason as
+ * evalAlu(): the translator instantiates it per opcode.
  * @return true when the branch is taken
  */
-bool evalBranch(isa::Opcode op, std::uint64_t a, std::uint64_t b);
+inline bool
+evalBranch(isa::Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using isa::Opcode;
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Ble: return sa <= sb;
+      case Opcode::Bgt: return sa > sb;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      case Opcode::Jmp: return true;
+      default:
+        csb_panic("evalBranch: non-branch opcode ", isa::mnemonic(op));
+    }
+}
 
 } // namespace csb::cpu
 

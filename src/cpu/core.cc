@@ -1,5 +1,6 @@
 #include "core.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/checkpoint.hh"
@@ -41,6 +42,9 @@ Core::Core(sim::Simulator &simulator, const CoreParams &params,
       csbStoreStallCycles(this, "csbStoreStallCycles",
                           "cycles retire stalled on a busy CSB"),
       contextSwitches(this, "contextSwitches", "pipeline squashes"),
+      instsFastForwarded(this, "instsFastForwarded",
+                         "instructions retired via the translated "
+                         "fast-forward path"),
       uncachedStallRuns(this, "uncachedStallRuns",
                         "consecutive cycles an uncached store waited "
                         "before retiring",
@@ -70,6 +74,8 @@ Core::loadProgram(const isa::Program *program, ProcId pid)
     csb_assert(program != nullptr && program->finalized(),
                "loadProgram needs a finalized program");
     program_ = program;
+    if (ffTranslator_)
+        ffTranslator_->setProgram(program_);
     arch_ = ArchState{};
     arch_.pid = pid;
     spec_ = arch_;
@@ -80,6 +86,17 @@ Core::loadProgram(const isa::Program *program, ProcId pid)
     fetchStallSeq_ = 0;
     switchPending_ = false;
     ++epoch_;
+}
+
+void
+Core::enableFastForward(const TranslateConfig &config)
+{
+    config.validate();
+    ffTranslator_ = std::make_unique<Translator>();
+    ffInstsPerTick_ = config.fastForwardInstsPerTick;
+    ffMinBlock_ = config.fastForwardMinBlock;
+    if (program_)
+        ffTranslator_->setProgram(program_);
 }
 
 void
@@ -181,6 +198,8 @@ Core::doSquashAndSwitch()
     arch_ = nextState_;
     spec_ = arch_;
     program_ = nextProgram_;
+    if (ffTranslator_)
+        ffTranslator_->setProgram(program_);
     fetchPc_ = arch_.pc;
     fetchHalted_ = arch_.halted;
     fetchStallSeq_ = 0;
@@ -301,11 +320,25 @@ Core::fetchStage()
         return;
     }
 
+    // Translated fast-forward: with the pipeline drained, burn
+    // through long pure-compute block chains architecturally instead
+    // of re-fetching them one pipeline slot at a time.
+    if (ffTranslator_ && window_.empty() && !switchPending_)
+        fastForward();
+
     Tick now = sim_.curTick();
     unsigned fetched = 0;
     while (fetched < params_.fetchWidth) {
         if (window_.size() >= params_.windowSize) {
             windowFullStallCycles += 1;
+            break;
+        }
+        // Leave a long block to the fast-forward path: stop fetching
+        // so the window drains and fastForward() picks it up.  Short
+        // blocks stay on the pipeline, where the out-of-order window
+        // overlaps them with the surrounding memory traffic.
+        if (ffTranslator_ &&
+            ffTranslator_->blockLen(fetchPc_) >= ffMinBlock_) {
             break;
         }
         csb_assert(fetchPc_ < program_->size(),
@@ -367,6 +400,33 @@ Core::fetchStage()
     }
 }
 
+void
+Core::fastForward()
+{
+    // The window is drained, so everything fetched has retired and
+    // the committed pc is exactly where fetch stands.
+    csb_assert(arch_.pc == fetchPc_,
+               "fast-forward with fetch ahead of commit");
+    std::uint64_t blen = ffTranslator_->blockLen(arch_.pc);
+    if (blen < ffMinBlock_)
+        return;
+    // A block is never split, so the budget is a floor, not a cap:
+    // an oversized block still executes whole this tick.
+    std::uint64_t budget = std::max<std::uint64_t>(ffInstsPerTick_, blen);
+    std::vector<std::int64_t> mark_ids;
+    std::uint64_t steps = ffTranslator_->run(arch_, budget, mark_ids);
+    csb_assert(steps > 0, "fast-forward made no progress");
+    Tick now = sim_.curTick();
+    for (std::int64_t id : mark_ids)
+        marks_.emplace_back(id, now);
+    spec_ = arch_;
+    fetchPc_ = arch_.pc;
+    instsRetired += steps;
+    instsDispatched += steps;
+    instsFastForwarded += steps;
+    sim_.noteProgress();
+}
+
 // ---------------------------------------------------------------------
 // Issue / execute
 
@@ -416,9 +476,17 @@ Core::loadBlockedByStore(const DynInst &load, std::uint64_t &fwd_val,
                          bool &can_forward) const
 {
     can_forward = false;
-    for (const DynInst &di : window_) {
+    // Scan older stores youngest-first: the nearest older store in
+    // program order owns the bytes the load reads, so it alone decides
+    // between forwarding and waiting.  (An oldest-first scan acted on
+    // the first match instead and forwarded one-generation-stale data
+    // whenever two same-address stores were in flight, as in a tight
+    // read-modify-write loop.)  Anything older than the deciding store
+    // is irrelevant: the younger store supersedes its bytes.
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        const DynInst &di = *it;
         if (di.seq >= load.seq)
-            break;
+            continue;
         if (!isStore(di.inst.op))
             continue;
         if (!di.addrKnown)

@@ -32,14 +32,44 @@ recordStep(sim::TraceRecorder *rec, std::uint8_t cpu, Tick step,
 ArchState
 Interpreter::run(std::uint64_t max_steps)
 {
+    // The trace-recorder null test is hoisted out of the hot loop by
+    // compiling two loop variants; recordStep calls are guarded with
+    // `if constexpr` below, so the untraced loop carries no test at
+    // all.
+    return traceRec_ ? runLoop<true>(max_steps) : runLoop<false>(max_steps);
+}
+
+template <bool HasTrace>
+ArchState
+Interpreter::runLoop(std::uint64_t max_steps)
+{
     ArchState state;
     marks_.clear();
     instsExecuted_ = 0;
 
+    // One bounds-validated raw span instead of a per-step
+    // program_.at(): the pc assert below keeps the out-of-range
+    // diagnostic, without the extra at() range check per step.
+    const isa::Instruction *code = program_.code().data();
+    const std::uint64_t size = program_.size();
+
     while (!state.halted && instsExecuted_ < max_steps) {
-        csb_assert(state.pc < program_.size(),
-                   "interpreter fell off the program");
-        const isa::Instruction &inst = program_.at(state.pc);
+        if (translator_) {
+            // Fast path: burn through translated blocks until the
+            // next block would cross a memory event / Halt or exceed
+            // the remaining budget.  Budget accounting is exact, so
+            // the max_steps cutoff fires at the same instruction as
+            // the slow path's.
+            instsExecuted_ += translator_->run(
+                state, max_steps - instsExecuted_, marks_);
+            if (state.halted || instsExecuted_ >= max_steps)
+                break;
+            // Fall through: single-step the boundary instruction (or
+            // an over-budget block) on the slow path to guarantee
+            // progress.
+        }
+        csb_assert(state.pc < size, "interpreter fell off the program");
+        const isa::Instruction &inst = code[state.pc];
         ++instsExecuted_;
         std::uint64_t next_pc = state.pc + 1;
 
@@ -68,9 +98,10 @@ Interpreter::run(std::uint64_t max_steps)
             csb_assert(addr % size == 0, "interpreter: misaligned load");
             std::uint64_t bits = 0;
             memory_.read(addr, &bits, size);
-            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
-                       state.pid, sim::TraceOp::CachedLoad, addr, size,
-                       bits);
+            if constexpr (HasTrace)
+                recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                           state.pid, sim::TraceOp::CachedLoad, addr,
+                           size, bits);
             state.writeReg(inst.rd, bits);
             break;
           }
@@ -80,9 +111,10 @@ Interpreter::run(std::uint64_t max_steps)
             unsigned size = isa::accessSize(inst.op);
             csb_assert(addr % size == 0, "interpreter: misaligned store");
             std::uint64_t bits = state.readReg(inst.rs2);
-            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
-                       state.pid, sim::TraceOp::CachedStore, addr, size,
-                       bits);
+            if constexpr (HasTrace)
+                recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                           state.pid, sim::TraceOp::CachedStore, addr,
+                           size, bits);
             memory_.write(addr, &bits, size);
             break;
           }
@@ -94,17 +126,19 @@ Interpreter::run(std::uint64_t max_steps)
             std::uint64_t old = 0;
             memory_.read(addr, &old, size);
             std::uint64_t nv = state.readReg(inst.rd);
-            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
-                       state.pid, sim::TraceOp::SwapMemWrite, addr,
-                       size, nv, sim::TraceFlagSwap);
+            if constexpr (HasTrace)
+                recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                           state.pid, sim::TraceOp::SwapMemWrite, addr,
+                           size, nv, sim::TraceFlagSwap);
             memory_.write(addr, &nv, size);
             state.writeReg(inst.rd, old);
             break;
           }
           case InstClass::Membar:
             // Sequential execution is already strongly ordered.
-            recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
-                       state.pid, sim::TraceOp::Membar, 0, 0, 0);
+            if constexpr (HasTrace)
+                recordStep(traceRec_, traceCpu_, instsExecuted_ - 1,
+                           state.pid, sim::TraceOp::Membar, 0, 0, 0);
             break;
           case InstClass::Branch: {
             bool taken = evalBranch(inst.op, state.readReg(inst.rs1),

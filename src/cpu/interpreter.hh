@@ -13,12 +13,14 @@
 #ifndef CSB_CPU_INTERPRETER_HH
 #define CSB_CPU_INTERPRETER_HH
 
+#include <memory>
 #include <vector>
 
 #include "arch_state.hh"
 #include "isa/program.hh"
 #include "mem/physical_memory.hh"
 #include "sim/trace_recorder.hh"
+#include "translator.hh"
 
 namespace csb::cpu {
 
@@ -60,13 +62,36 @@ class Interpreter
         traceCpu_ = cpu_index;
     }
 
+    /**
+     * Enable/disable the basic-block translated fast path
+     * (cpu/translator.hh).  Results -- arch state, marks, trace
+     * stream, instsExecuted() -- are bit-identical either way; only
+     * dispatch changes.  Memory instructions always take the slow
+     * path below, so the trace stream keeps its exact content and
+     * step indices.
+     */
+    void
+    setTranslate(bool on)
+    {
+        if (!on) {
+            translator_.reset();
+            return;
+        }
+        translator_ = std::make_unique<Translator>();
+        translator_->setProgram(&program_);
+    }
+
   private:
+    template <bool HasTrace>
+    ArchState runLoop(std::uint64_t max_steps);
+
     const isa::Program &program_;
     mem::PhysicalMemory &memory_;
     std::vector<std::int64_t> marks_;
     std::uint64_t instsExecuted_ = 0;
     sim::TraceRecorder *traceRec_ = nullptr;
     std::uint8_t traceCpu_ = 0;
+    std::unique_ptr<Translator> translator_;
 };
 
 } // namespace csb::cpu

@@ -86,6 +86,14 @@ class ReferenceExecutor
      */
     void run(std::uint64_t max_steps_per_context = 1'000'000);
 
+    /**
+     * Use the basic-block translated fast path (cpu/translator.hh)
+     * between memory-system events.  Purely an oracle speedup: final
+     * states, marks, images, write streams, flush accounting and the
+     * runaway-cap step accounting are bit-identical either way.
+     */
+    void setTranslate(bool on) { translate_ = on; }
+
     std::size_t numContexts() const { return contexts_.size(); }
 
     /** Final architectural state of context @p ctx (after run()). */
@@ -158,6 +166,7 @@ class ReferenceExecutor
                      std::uint64_t bits);
 
     RefCsbModel csbModel_;
+    bool translate_ = false;
     mem::PageTable pageTable_;
     mem::PhysicalMemory memory_;
     std::map<Addr, std::uint8_t> ioImage_;

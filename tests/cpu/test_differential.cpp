@@ -225,6 +225,180 @@ TEST_P(Differential, NarrowWindowCoreMatchesToo)
     EXPECT_EQ(got_arena, ref_arena);
 }
 
+/**
+ * Like randomProgram, but the whole body sits inside a backward
+ * countdown loop (r13) and sprinkles MARK and MEMBAR tokens through
+ * it: backward branches re-enter the same (translated) blocks with
+ * different register values, and the mark stream must come out in
+ * identical order on both models.
+ */
+isa::Program
+randomLoopProgram(std::uint64_t seed, unsigned length,
+                  std::int64_t trips)
+{
+    sim::Random rng(seed);
+    isa::Program p;
+
+    for (int r = 1; r <= 12; ++r)
+        p.li(ir(r), static_cast<std::int64_t>(rng.next()));
+    p.li(ir(kArenaReg), kArenaBase);
+    p.li(ir(13), trips);
+    isa::Label top = p.newLabel();
+    p.bind(top);
+
+    auto reg = [&] { return ir(1 + static_cast<int>(rng.uniform(0, 11))); };
+    auto slot = [&](unsigned size) {
+        return static_cast<std::int64_t>(
+            rng.uniform(0, kArenaBytes / size - 1) * size);
+    };
+
+    for (unsigned i = 0; i < length; ++i) {
+        std::uint64_t dice = rng.uniform(0, 99);
+        if (dice < 45) {
+            static const Opcode ops[] = {
+                Opcode::Add, Opcode::Sub, Opcode::Xor, Opcode::And,
+                Opcode::Or,  Opcode::Mul, Opcode::Sltu,
+            };
+            isa::Instruction inst;
+            inst.op = ops[rng.uniform(0, std::size(ops) - 1)];
+            inst.rd = reg();
+            inst.rs1 = reg();
+            inst.rs2 = reg();
+            p.add(inst);
+        } else if (dice < 60) {
+            // Read-modify-write of an arena slot: the pattern that
+            // once exposed stale store-to-load forwarding when two
+            // same-address stores were in flight across iterations.
+            std::int64_t off = slot(8);
+            p.ldd(ir(1), ir(kArenaReg), off);
+            p.add_(ir(1), ir(1), reg());
+            p.std_(ir(1), ir(kArenaReg), off);
+        } else if (dice < 72) {
+            static const unsigned sizes[] = {1, 4, 8};
+            unsigned size = sizes[rng.uniform(0, 2)];
+            Opcode op = size == 1   ? Opcode::Stb
+                        : size == 4 ? Opcode::Stw
+                                    : Opcode::Std;
+            isa::Instruction inst;
+            inst.op = op;
+            inst.rs2 = reg();
+            inst.rs1 = ir(kArenaReg);
+            inst.imm = slot(size);
+            p.add(inst);
+        } else if (dice < 82) {
+            static const unsigned sizes[] = {1, 4, 8};
+            unsigned size = sizes[rng.uniform(0, 2)];
+            Opcode op = size == 1   ? Opcode::Ldb
+                        : size == 4 ? Opcode::Ldw
+                                    : Opcode::Ldd;
+            isa::Instruction inst;
+            inst.op = op;
+            inst.rd = reg();
+            inst.rs1 = ir(kArenaReg);
+            inst.imm = slot(size);
+            p.add(inst);
+        } else if (dice < 88) {
+            p.swap(reg(), ir(kArenaReg), slot(8));
+        } else if (dice < 94) {
+            p.mark(static_cast<std::int64_t>(rng.uniform(0, 999)));
+        } else {
+            p.membar();
+        }
+    }
+    p.addi(ir(13), ir(13), -1);
+    p.bgt(ir(13), ir(0), top);
+    p.halt();
+    p.finalize();
+    return p;
+}
+
+TEST_P(Differential, BackwardLoopWithMarksMatches)
+{
+    isa::Program program =
+        randomLoopProgram(GetParam() ^ 0x10071007, 60, 5);
+
+    cpu::ReferenceExecutor reference;
+    reference.addContext(&program, /*pid=*/1);
+    reference.run();
+    const cpu::ArchState &ref = reference.state(0);
+    ASSERT_TRUE(ref.halted);
+
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    system.run(program);
+    const cpu::ArchState &got = system.core().archState();
+
+    for (int r = 0; r < isa::numIntRegs; ++r)
+        EXPECT_EQ(got.intRegs[r], ref.intRegs[r]) << "%r" << r;
+    EXPECT_EQ(got.pc, ref.pc);
+
+    std::vector<std::uint8_t> ref_arena(kArenaBytes);
+    std::vector<std::uint8_t> got_arena(kArenaBytes);
+    reference.memory().read(kArenaBase, ref_arena.data(), kArenaBytes);
+    system.memory().read(kArenaBase, got_arena.data(), kArenaBytes);
+    EXPECT_EQ(got_arena, ref_arena);
+
+    // Mark ids must stream out in the same committed order.
+    const auto &ref_marks = reference.marks(0);
+    const auto &got_marks = system.core().marks();
+    ASSERT_EQ(got_marks.size(), ref_marks.size());
+    for (std::size_t i = 0; i < ref_marks.size(); ++i)
+        EXPECT_EQ(got_marks[i].first, ref_marks[i]) << "mark " << i;
+}
+
+/**
+ * Regression: a tight read-modify-write loop keeps two same-address
+ * stores in flight across iterations once the window fills; the load
+ * must forward from the YOUNGEST older store.  The oldest-first scan
+ * this repo originally shipped forwarded one-generation-stale data
+ * here from the fourth iteration on (caught by bench/perf_cpu).
+ */
+TEST(DifferentialRegression, RmwLoopForwardsYoungestStore)
+{
+    isa::Program p;
+    p.li(ir(1), kArenaBase);
+    p.li(ir(2), 8);
+    p.li(ir(3), 0x27d4eb2f165667c5ull);
+    p.li(ir(4), 0);
+    isa::Label loop = p.newLabel();
+    p.bind(loop);
+    for (int round = 0; round < 4; ++round) {
+        p.add_(ir(4), ir(4), ir(3));
+        p.xor_(ir(5), ir(4), ir(2));
+        p.mul(ir(5), ir(5), ir(3));
+        p.srli(ir(6), ir(5), 31);
+        p.xor_(ir(4), ir(5), ir(6));
+    }
+    p.ldd(ir(7), ir(1), 0);
+    p.add_(ir(7), ir(7), ir(4));
+    p.std_(ir(7), ir(1), 0);
+    p.std_(ir(4), ir(1), 8);
+    p.mark(7);
+    p.membar();
+    p.addi(ir(2), ir(2), -1);
+    p.bgt(ir(2), ir(0), loop);
+    p.halt();
+    p.finalize();
+
+    cpu::ReferenceExecutor reference;
+    reference.addContext(&p, /*pid=*/1);
+    reference.run();
+
+    SystemConfig cfg;
+    cfg.normalize();
+    System system(cfg);
+    system.run(p);
+
+    EXPECT_EQ(system.core().archState().intRegs[7],
+              reference.state(0).intRegs[7]);
+    std::vector<std::uint8_t> ref_arena(kArenaBytes);
+    std::vector<std::uint8_t> got_arena(kArenaBytes);
+    reference.memory().read(kArenaBase, ref_arena.data(), kArenaBytes);
+    system.memory().read(kArenaBase, got_arena.data(), kArenaBytes);
+    EXPECT_EQ(got_arena, ref_arena);
+}
+
 std::vector<std::uint64_t>
 seeds()
 {
